@@ -1,0 +1,143 @@
+// Supplementary engine-feature benchmarks (not tied to a paper claim):
+//
+//  * provenance recording overhead vs the plain semi-naive fixpoint
+//    (the cost of keeping one hyperresolution proof per fact);
+//  * specification serialisation / deserialisation throughput;
+//  * goal-directed slicing: evaluation cost with and without irrelevant
+//    rule clusters in the program.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "analysis/slice.h"
+#include "bench/bench_util.h"
+#include "eval/fixpoint.h"
+#include "eval/provenance.h"
+#include "spec/serialize.h"
+#include "spec/specification.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit PathUnit(int edges) {
+  std::mt19937 rng(555);
+  return bench::MustParse(
+      workload::PathProgramSource() +
+      workload::RandomGraphFactsSource(edges / 2, edges, &rng));
+}
+
+void BM_FixpointPlain(benchmark::State& state) {
+  ParsedUnit unit = PathUnit(static_cast<int>(state.range(0)));
+  FixpointOptions options;
+  options.max_time = state.range(0) / 2 + 4;
+  for (auto _ : state) {
+    auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+    if (!model.ok()) state.SkipWithError(model.status().ToString().c_str());
+    benchmark::DoNotOptimize(model->size());
+  }
+}
+BENCHMARK(BM_FixpointPlain)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FixpointWithProvenance(benchmark::State& state) {
+  ParsedUnit unit = PathUnit(static_cast<int>(state.range(0)));
+  FixpointOptions options;
+  options.max_time = state.range(0) / 2 + 4;
+  std::size_t proofs = 0;
+  for (auto _ : state) {
+    auto forest =
+        MaterializeWithProvenance(unit.program, unit.database, options);
+    if (!forest.ok()) state.SkipWithError(forest.status().ToString().c_str());
+    proofs = forest->size();
+  }
+  state.counters["proofs"] = static_cast<double>(proofs);
+}
+BENCHMARK(BM_FixpointWithProvenance)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SerializeSpec(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(workload::SkiScheduleSource(
+      static_cast<int>(state.range(0)), 28, 8, 2));
+  auto spec = BuildSpecification(unit.program, unit.database);
+  if (!spec.ok()) std::abort();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = SerializeSpecification(*spec);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SerializeSpec)->Arg(4)->Arg(32)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeserializeSpec(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(workload::SkiScheduleSource(
+      static_cast<int>(state.range(0)), 28, 8, 2));
+  auto spec = BuildSpecification(unit.program, unit.database);
+  if (!spec.ok()) std::abort();
+  std::string text = SerializeSpecification(*spec);
+  for (auto _ : state) {
+    auto loaded = DeserializeSpecification(text);
+    if (!loaded.ok()) state.SkipWithError(loaded.status().ToString().c_str());
+    benchmark::DoNotOptimize(loaded->SizeInFacts());
+  }
+}
+BENCHMARK(BM_DeserializeSpec)->Arg(4)->Arg(32)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Path program plus `extra` irrelevant delay-chain clusters: slicing for
+/// the `path` goal drops them before evaluation.
+std::string PaddedPathSource(int extra) {
+  std::mt19937 rng(777);
+  std::string src = workload::PathProgramSource() +
+                    workload::RandomGraphFactsSource(16, 32, &rng);
+  for (int i = 0; i < extra; ++i) {
+    src += "noise" + std::to_string(i) + "(T+3, X) :- noise" +
+           std::to_string(i) + "(T, X).\n";
+    src += "noise" + std::to_string(i) + "(0..2, n" + std::to_string(i % 16) +
+           ").\n";
+  }
+  return src;
+}
+
+void BM_EvalUnsliced(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(
+      PaddedPathSource(static_cast<int>(state.range(0))));
+  FixpointOptions options;
+  options.max_time = 24;
+  for (auto _ : state) {
+    auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+    if (!model.ok()) state.SkipWithError(model.status().ToString().c_str());
+    benchmark::DoNotOptimize(model->size());
+  }
+}
+BENCHMARK(BM_EvalUnsliced)->Arg(0)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvalSliced(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(
+      PaddedPathSource(static_cast<int>(state.range(0))));
+  PredicateId path = unit.program.vocab().FindPredicate("path");
+  auto slice = SliceForGoals(unit.program, {path});
+  if (!slice.ok()) std::abort();
+  Database db = SliceDatabase(unit.database, slice->relevant);
+  FixpointOptions options;
+  options.max_time = 24;
+  for (auto _ : state) {
+    auto model = SemiNaiveFixpoint(slice->program, db, options);
+    if (!model.ok()) state.SkipWithError(model.status().ToString().c_str());
+    benchmark::DoNotOptimize(model->size());
+  }
+  state.counters["kept_rules"] =
+      static_cast<double>(slice->program.rules().size());
+}
+BENCHMARK(BM_EvalSliced)->Arg(0)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chronolog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Experiment E9 (DESIGN.md): the two motivating scenarios of the paper's
+// Section 2, end to end through the engine facade — classification, the
+// Theorem 5.2 decision, specification construction, and steady-state query
+// throughput once the specification is cached.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+std::string SkiSource() {
+  return workload::SkiScheduleSource(/*resorts=*/3, /*year_len=*/28,
+                                     /*winter_len=*/8, /*holidays=*/2);
+}
+
+std::string PathSource() {
+  std::mt19937 rng(9);
+  return workload::PathProgramSource() +
+         workload::RandomGraphFactsSource(16, 32, &rng);
+}
+
+// Cold start: parse + classify + inflationary decision + specification.
+void BM_EngineColdStartSki(benchmark::State& state) {
+  std::string src = SkiSource();
+  for (auto _ : state) {
+    auto tdd = TemporalDatabase::FromSource(src);
+    if (!tdd.ok()) state.SkipWithError(tdd.status().ToString().c_str());
+    benchmark::DoNotOptimize(tdd->classification().multi_separable);
+    auto inflationary = tdd->inflationary();
+    auto spec = tdd->specification();
+    if (!spec.ok()) state.SkipWithError(spec.status().ToString().c_str());
+    benchmark::DoNotOptimize(inflationary.ok());
+  }
+}
+BENCHMARK(BM_EngineColdStartSki)->Unit(benchmark::kMillisecond);
+
+void BM_EngineColdStartPath(benchmark::State& state) {
+  std::string src = PathSource();
+  for (auto _ : state) {
+    auto tdd = TemporalDatabase::FromSource(src);
+    if (!tdd.ok()) state.SkipWithError(tdd.status().ToString().c_str());
+    auto spec = tdd->specification();
+    if (!spec.ok()) state.SkipWithError(spec.status().ToString().c_str());
+    benchmark::DoNotOptimize((*spec)->period().p);
+  }
+}
+BENCHMARK(BM_EngineColdStartPath)->Unit(benchmark::kMillisecond);
+
+// Warm query throughput: yes-no asks against the cached specification.
+void BM_EngineWarmAskSki(benchmark::State& state) {
+  auto tdd = TemporalDatabase::FromSource(SkiSource());
+  if (!tdd.ok()) std::abort();
+  (void)tdd->specification();
+  int64_t day = 0;
+  for (auto _ : state) {
+    std::string q = "plane(" + std::to_string(day) + ", resort1)";
+    day = (day + 1009) % 1000000;
+    auto answer = tdd->Ask(q);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(*answer);
+  }
+}
+BENCHMARK(BM_EngineWarmAskSki)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineWarmAskPath(benchmark::State& state) {
+  auto tdd = TemporalDatabase::FromSource(PathSource());
+  if (!tdd.ok()) std::abort();
+  (void)tdd->specification();
+  int64_t k = 0;
+  for (auto _ : state) {
+    std::string q = "path(" + std::to_string(k) + ", n0, n7)";
+    k = (k + 7) % 100000;
+    auto answer = tdd->Ask(q);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(*answer);
+  }
+}
+BENCHMARK(BM_EngineWarmAskPath)->Unit(benchmark::kMicrosecond);
+
+// First-order query throughput through the engine.
+void BM_EngineFirstOrderQuery(benchmark::State& state) {
+  auto tdd = TemporalDatabase::FromSource(SkiSource());
+  if (!tdd.ok()) std::abort();
+  (void)tdd->specification();
+  for (auto _ : state) {
+    auto answer = tdd->Query("exists T (plane(T, resort2) & ~winter(T))");
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer->boolean);
+  }
+}
+BENCHMARK(BM_EngineFirstOrderQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace chronolog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment E5 (DESIGN.md): Theorem 5.2 — inflationary-ness is decidable,
+// and the decision procedure runs one tiny least-model computation (over a
+// single-tuple database) per derived predicate. Measures decision time as
+// the program grows; the scaling is polynomial in the program size because
+// each per-predicate check is database-size-independent.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "analysis/inflationary.h"
+#include "bench/bench_util.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+/// A synthetic inflationary program with `n` predicate layers: each layer
+/// feeds the next and persists.
+std::string LayeredInflationarySource(int layers) {
+  std::string src;
+  for (int i = 0; i < layers; ++i) {
+    std::string p = "p" + std::to_string(i);
+    src += p + "(T+1, X) :- " + p + "(T, X).\n";
+    if (i > 0) {
+      src += p + "(T, X) :- p" + std::to_string(i - 1) + "(T, X).\n";
+    }
+  }
+  src += "p0(0, seed).\n";
+  return src;
+}
+
+void BM_InflationaryCheckLayers(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(
+      LayeredInflationarySource(static_cast<int>(state.range(0))));
+  bool verdict = false;
+  for (auto _ : state) {
+    auto report = CheckInflationary(unit.program);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    verdict = report->inflationary;
+  }
+  state.counters["inflationary"] = verdict ? 1 : 0;
+  state.counters["rules"] = static_cast<double>(unit.program.rules().size());
+}
+BENCHMARK(BM_InflationaryCheckLayers)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Random programs with appended copy rules (always inflationary): checks
+// the procedure across varied rule shapes.
+void BM_InflationaryCheckRandom(benchmark::State& state) {
+  std::mt19937 rng(static_cast<uint32_t>(state.range(0)));
+  workload::RandomProgramOptions options;
+  options.progressive_only = true;
+  options.num_rules = static_cast<int>(state.range(0));
+  std::string src = workload::RandomProgramSource(options, &rng);
+  src += "tp0(T+1, X) :- tp0(T, X).\n";
+  src += "tp1(T+1, X) :- tp1(T, X).\n";
+  src += "tp2(T+1, X) :- tp2(T, X).\n";
+  ParsedUnit unit = bench::MustParse(src);
+  for (auto _ : state) {
+    auto report = CheckInflationary(unit.program);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    benchmark::DoNotOptimize(report->inflationary);
+  }
+}
+BENCHMARK(BM_InflationaryCheckRandom)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// The verdict cost is independent of the *database* size: same program,
+// growing database (the procedure substitutes its own one-tuple database).
+void BM_InflationaryCheckDatabaseIndependence(benchmark::State& state) {
+  std::mt19937 rng(4242);
+  std::string src = workload::PathProgramSource() +
+                    workload::RandomGraphFactsSource(
+                        static_cast<int>(state.range(0)) / 2,
+                        static_cast<int>(state.range(0)), &rng);
+  ParsedUnit unit = bench::MustParse(src);
+  for (auto _ : state) {
+    auto report = CheckInflationary(unit.program);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    benchmark::DoNotOptimize(report->inflationary);
+  }
+  state.counters["facts_n"] = static_cast<double>(unit.database.size());
+}
+BENCHMARK(BM_InflationaryCheckDatabaseIndependence)
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chronolog
+
+BENCHMARK_MAIN();

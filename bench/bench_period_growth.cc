@@ -1,0 +1,93 @@
+// Experiment E2 (DESIGN.md): Theorem 3.1 vs Theorems 5.1 / 6.1.
+//
+// With a FIXED program and a growing database:
+//  * token rings (not multi-separable, not inflationary): minimal period
+//    lcm(ring lengths) — exponential in the unary database size;
+//  * ripple-carry binary counter: period 2^bits — exponential with a
+//    constant normal program;
+//  * the inflationary `path` program: period p = 1 always (Theorem 5.1);
+//  * the multi-separable ski schedule: period independent of the number of
+//    resorts (Theorem 6.1/6.5).
+//
+// The `period_p` counter carries the headline number; wall time tracks it.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench/bench_util.h"
+#include "spec/period.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+void DetectAndReport(benchmark::State& state, const ParsedUnit& unit,
+                     int64_t max_horizon = 2'000'000) {
+  PeriodDetectionOptions options;
+  options.max_horizon = max_horizon;
+  Period period;
+  for (auto _ : state) {
+    auto detection = DetectPeriod(unit.program, unit.database, options);
+    if (!detection.ok()) {
+      state.SkipWithError(detection.status().ToString().c_str());
+      return;
+    }
+    period = detection->period;
+  }
+  state.counters["period_b"] = static_cast<double>(period.b);
+  state.counters["period_p"] = static_cast<double>(period.p);
+  state.counters["facts_n"] = static_cast<double>(unit.database.size());
+}
+
+// Database size n = sum of the first k primes; minimal period = their
+// product, i.e. exp(Theta(sqrt(n log n))).
+void BM_PeriodTokenRings(benchmark::State& state) {
+  std::vector<int> primes =
+      bench::FirstPrimes(static_cast<int>(state.range(0)));
+  ParsedUnit unit = bench::MustParse(workload::TokenRingSource(primes));
+  DetectAndReport(state, unit);
+}
+BENCHMARK(BM_PeriodTokenRings)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+// Database size n = bits; minimal period 2^n.
+void BM_PeriodBinaryCounter(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(
+      workload::BinaryCounterSource(static_cast<int>(state.range(0))));
+  DetectAndReport(state, unit);
+}
+BENCHMARK(BM_PeriodBinaryCounter)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+// Inflationary contrast: p = 1 regardless of database size (Theorem 5.1).
+void BM_PeriodInflationaryPath(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  std::mt19937 rng(2222);
+  ParsedUnit unit = bench::MustParse(
+      workload::PathProgramSource() +
+      workload::RandomGraphFactsSource(edges / 2, edges, &rng));
+  DetectAndReport(state, unit);
+}
+BENCHMARK(BM_PeriodInflationaryPath)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// I-periodic contrast: the ski schedule's period does not grow with the
+// number of resorts (Theorem 6.5: the I-period is database-independent).
+void BM_PeriodSkiResorts(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(workload::SkiScheduleSource(
+      static_cast<int>(state.range(0)), /*year_len=*/28, /*winter_len=*/8,
+      /*holidays=*/2));
+  DetectAndReport(state, unit);
+}
+BENCHMARK(BM_PeriodSkiResorts)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chronolog
+
+BENCHMARK_MAIN();

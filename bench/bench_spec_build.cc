@@ -1,0 +1,82 @@
+// Experiment E3 (DESIGN.md): Theorem 4.1 — the relational specification
+// S_{Z∧D} = (T, B, W) is polynomially sized and polynomially computable iff
+// the period is polynomially bounded.
+//
+// Reports |T| (representatives) and |B| (primary database facts) as
+// counters next to the construction wall time: polynomial growth for the
+// tractable classes (path, ski), explosive growth for the token rings.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench/bench_util.h"
+#include "spec/specification.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+void BuildAndReport(benchmark::State& state, const ParsedUnit& unit) {
+  int64_t reps = 0;
+  std::size_t primary = 0;
+  for (auto _ : state) {
+    auto spec = BuildSpecification(unit.program, unit.database);
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    reps = spec->num_representatives();
+    primary = spec->SizeInFacts();
+  }
+  state.counters["T_size"] = static_cast<double>(reps);
+  state.counters["B_size"] = static_cast<double>(primary);
+  state.counters["facts_n"] = static_cast<double>(unit.database.size());
+}
+
+void BM_SpecPath(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  std::mt19937 rng(777);
+  ParsedUnit unit = bench::MustParse(
+      workload::PathProgramSource() +
+      workload::RandomGraphFactsSource(edges / 2, edges, &rng));
+  BuildAndReport(state, unit);
+}
+BENCHMARK(BM_SpecPath)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpecSki(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(workload::SkiScheduleSource(
+      static_cast<int>(state.range(0)), /*year_len=*/28, /*winter_len=*/8,
+      /*holidays=*/2));
+  BuildAndReport(state, unit);
+}
+BENCHMARK(BM_SpecSki)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// The intractable contrast: |T| = b + c + p explodes with the lcm.
+void BM_SpecTokenRings(benchmark::State& state) {
+  std::vector<int> primes =
+      bench::FirstPrimes(static_cast<int>(state.range(0)));
+  ParsedUnit unit = bench::MustParse(workload::TokenRingSource(primes));
+  BuildAndReport(state, unit);
+}
+BENCHMARK(BM_SpecTokenRings)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+// Full-size paper scenario: the 365-day year with three seasons.
+void BM_SpecSkiFullYear(benchmark::State& state) {
+  ParsedUnit unit = bench::MustParse(workload::SkiScheduleSource(
+      static_cast<int>(state.range(0)), /*year_len=*/365, /*winter_len=*/91,
+      /*holidays=*/13));
+  BuildAndReport(state, unit);
+}
+BENCHMARK(BM_SpecSkiFullYear)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chronolog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Experiment E7 (DESIGN.md): the Theorem 6.2 reduction S -> S'. Strongly
+// k-bounded Datalog maps to I-periodic temporal programs (I-period (k, 1)),
+// unbounded Datalog to programs whose periodicity onset b grows with the
+// database:
+//
+//  * bounded two-hop reachability: detected (b, p) = (const, 1) for every
+//    chain length;
+//  * transitive closure: p = 1 (the copy rules are inflationary) but b
+//    tracks the chain diameter — no database-independent period exists.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/temporalize.h"
+#include "bench/bench_util.h"
+#include "spec/period.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+std::string ChainEdges(int n) {
+  std::string edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges += "edge(v" + std::to_string(i) + ", v" + std::to_string(i + 1) +
+             ").\n";
+  }
+  return edges;
+}
+
+void TemporalizeAndDetect(benchmark::State& state, const std::string& src) {
+  ParsedUnit datalog = bench::MustParse(src);
+  auto temporal = TemporalizeDatalog(datalog.program, datalog.database);
+  if (!temporal.ok()) {
+    state.SkipWithError(temporal.status().ToString().c_str());
+    return;
+  }
+  Period period;
+  for (auto _ : state) {
+    auto detection =
+        DetectPeriod(temporal->program, temporal->database);
+    if (!detection.ok()) {
+      state.SkipWithError(detection.status().ToString().c_str());
+      return;
+    }
+    period = detection->period;
+  }
+  state.counters["period_b"] = static_cast<double>(period.b);
+  state.counters["period_p"] = static_cast<double>(period.p);
+}
+
+void BM_TemporalizedBoundedDatalog(benchmark::State& state) {
+  TemporalizeAndDetect(state, workload::BoundedDatalogSource() +
+                                  ChainEdges(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TemporalizedBoundedDatalog)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TemporalizedTransitiveClosure(benchmark::State& state) {
+  TemporalizeAndDetect(state, workload::TransitiveClosureDatalogSource() +
+                                  ChainEdges(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TemporalizedTransitiveClosure)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// The transformation itself is linear in the program + database size.
+void BM_TemporalizeTransformOnly(benchmark::State& state) {
+  ParsedUnit datalog = bench::MustParse(
+      workload::TransitiveClosureDatalogSource() +
+      ChainEdges(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto temporal = TemporalizeDatalog(datalog.program, datalog.database);
+    if (!temporal.ok()) {
+      state.SkipWithError(temporal.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(temporal->program.rules().size());
+  }
+}
+BENCHMARK(BM_TemporalizeTransformOnly)
+    ->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace chronolog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#ifndef CHRONOLOG_BENCH_BENCH_UTIL_H_
+#define CHRONOLOG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "ast/parser.h"
+
+namespace chronolog::bench {
+
+/// Parses or dies — benchmark setup helper.
+inline ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  if (!unit.ok()) {
+    std::fprintf(stderr, "bench setup parse failed: %s\n",
+                 unit.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(unit).value();
+}
+
+/// First `k` primes — coprime ring lengths for the exponential-period
+/// witness (experiment E2).
+inline std::vector<int> FirstPrimes(int k) {
+  std::vector<int> primes;
+  for (int candidate = 2; static_cast<int>(primes.size()) < k; ++candidate) {
+    bool prime = true;
+    for (int p : primes) {
+      if (candidate % p == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) primes.push_back(candidate);
+  }
+  return primes;
+}
+
+}  // namespace chronolog::bench
+
+#endif  // CHRONOLOG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// chronologc — batch compiler for temporal deductive databases.
+//
+// Reads one or more .tdl source files (rules + facts), prints the
+// classification report, compiles the relational specification and
+// optionally writes it out as a portable artefact that answers queries
+// without re-running period detection (see spec/serialize.h).
+//
+// Usage:
+//   ./build/examples/chronologc input.tdl [more.tdl ...] [-o out.spec]
+//
+// Exit codes: 0 ok, 1 usage/IO, 2 parse/compile error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "spec/serialize.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing argument to -o\n");
+        return 1;
+      }
+      output = argv[++i];
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: chronologc input.tdl [more.tdl ...] [-o out.spec]\n");
+    return 1;
+  }
+
+  std::string source;
+  for (const std::string& path : inputs) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    source += buffer.str();
+    source += "\n";
+  }
+
+  auto tdd = chronolog::TemporalDatabase::FromSource(source);
+  if (!tdd.ok()) {
+    std::fprintf(stderr, "error: %s\n", tdd.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("%s", tdd->Describe().c_str());
+
+  auto spec = tdd->specification();
+  if (!spec.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n",
+                 spec.status().ToString().c_str());
+    return 2;
+  }
+
+  if (!output.empty()) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", output.c_str());
+      return 1;
+    }
+    out << chronolog::SerializeSpecification(**spec);
+    std::printf("wrote %s (%zu facts, %lld representatives)\n",
+                output.c_str(), (*spec)->SizeInFacts(),
+                static_cast<long long>((*spec)->num_representatives()));
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+// tddsh — an interactive shell for temporal deductive databases.
+//
+// Usage:
+//   ./build/examples/tddsh [file.tdl ...]
+//
+// Files (and interactive clause input) use the chronolog surface syntax.
+// At the prompt:
+//
+//   plane(0, hunter).            adds a fact (rebuilds the engine)
+//   p(T+1) :- p(T).              adds a rule
+//   ?- plane(7, hunter).         ground yes-no query
+//   ?- exists T (plane(T, X)).   first-order query (free vars enumerated)
+//   :describe                    classification, period, spec sizes
+//   :spec                        prints the relational specification (T,B,W)
+//   :explain plane(7, hunter)    renders a derivation (proof tree)
+//   :save out.spec               serialises the compiled specification
+//   :timeline plane              populated snapshots of one predicate
+//   :unfold 20 plane(T, X)       concrete answers up to time 20
+//   :quit                        exit
+//
+// Demonstrates incremental use of the public API: sources accumulate and
+// the engine (with its cached specification) is rebuilt on change.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/answers.h"
+#include "spec/serialize.h"
+#include "spec/specification.h"
+
+namespace {
+
+using chronolog::TemporalDatabase;
+
+/// Rebuilds the engine from the accumulated sources.
+chronolog::Result<TemporalDatabase> Rebuild(
+    const std::vector<std::string>& sources) {
+  std::string all;
+  for (const std::string& s : sources) {
+    all += s;
+    all += "\n";
+  }
+  return TemporalDatabase::FromSource(all);
+}
+
+void RunQuery(TemporalDatabase& tdd, const std::string& text) {
+  auto answer = tdd.Query(text);
+  if (!answer.ok()) {
+    std::printf("error: %s\n", answer.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", answer->ToString(tdd.vocab()).c_str());
+  if (answer->free_var_names.empty()) std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> sources;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    sources.push_back(buffer.str());
+  }
+
+  auto engine = Rebuild(sources);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("chronolog tddsh — %zu file(s) loaded. :quit to exit.\n",
+              sources.size());
+
+  std::string line;
+  while (true) {
+    std::printf("tdd> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+
+    if (line == ":quit" || line == ":q") break;
+    if (line == ":describe" || line == ":d") {
+      std::printf("%s", engine->Describe().c_str());
+      continue;
+    }
+    if (line == ":spec") {
+      auto spec = engine->specification();
+      if (!spec.ok()) {
+        std::printf("error: %s\n", spec.status().ToString().c_str());
+      } else {
+        std::printf("%s", (*spec)->ToString().c_str());
+      }
+      continue;
+    }
+    if (line.rfind(":timeline ", 0) == 0) {
+      std::string name = line.substr(10);
+      auto spec = engine->specification();
+      if (!spec.ok()) {
+        std::printf("error: %s\n", spec.status().ToString().c_str());
+        continue;
+      }
+      chronolog::PredicateId pred = engine->vocab().FindPredicate(name);
+      if (pred == chronolog::kInvalidPredicate) {
+        std::printf("error: unknown predicate '%s'\n", name.c_str());
+        continue;
+      }
+      if (!engine->vocab().predicate(pred).is_temporal) {
+        std::printf("'%s' is non-temporal (%zu tuples)\n", name.c_str(),
+                    (*spec)->primary().NonTemporal(pred).size());
+        continue;
+      }
+      for (const auto& [time, tuples] :
+           (*spec)->primary().Timeline(pred)) {
+        std::printf("  t=%-6lld %zu tuple(s)\n",
+                    static_cast<long long>(time), tuples.size());
+      }
+      std::printf("(representatives 0..%lld; rewrite %lld -> %lld)\n",
+                  static_cast<long long>((*spec)->num_representatives() - 1),
+                  static_cast<long long>((*spec)->rewrite_lhs()),
+                  static_cast<long long>((*spec)->rewrite_lhs() -
+                                         (*spec)->period().p));
+      continue;
+    }
+    if (line.rfind(":unfold ", 0) == 0) {
+      std::istringstream in(line.substr(8));
+      long long horizon = 0;
+      in >> horizon;
+      std::string query;
+      std::getline(in, query);
+      auto answer = engine->Query(query);
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().ToString().c_str());
+        continue;
+      }
+      auto unfolded = chronolog::UnfoldAnswers(*answer, horizon);
+      if (!unfolded.ok()) {
+        std::printf("error: %s\n", unfolded.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& row : *unfolded) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) std::printf(", ");
+          std::printf("%s = ", answer->free_var_names[i].c_str());
+          if (row[i].temporal) {
+            std::printf("%lld", static_cast<long long>(row[i].time));
+          } else {
+            std::printf("%s",
+                        engine->vocab().ConstantName(row[i].constant).c_str());
+          }
+        }
+        std::printf("\n");
+      }
+      std::printf("(%zu answers up to t=%lld)\n", unfolded->size(), horizon);
+      continue;
+    }
+    if (line.rfind(":explain ", 0) == 0) {
+      auto proof = engine->Explain(line.substr(9));
+      if (!proof.ok()) {
+        std::printf("error: %s\n", proof.status().ToString().c_str());
+      } else {
+        std::printf("%s", proof->c_str());
+      }
+      continue;
+    }
+    if (line.rfind(":save ", 0) == 0) {
+      auto spec = engine->specification();
+      if (!spec.ok()) {
+        std::printf("error: %s\n", spec.status().ToString().c_str());
+        continue;
+      }
+      std::string path = line.substr(6);
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("error: cannot open %s\n", path.c_str());
+        continue;
+      }
+      out << chronolog::SerializeSpecification(**spec);
+      std::printf("saved %s\n", path.c_str());
+      continue;
+    }
+    if (line.rfind("?-", 0) == 0) {
+      std::string query = line.substr(2);
+      if (!query.empty() && query.back() == '.') query.pop_back();
+      RunQuery(*engine, query);
+      continue;
+    }
+    // Otherwise: clauses. Validate by rebuilding with the addition; on
+    // error the addition is rolled back.
+    sources.push_back(line);
+    auto next = Rebuild(sources);
+    if (!next.ok()) {
+      std::printf("error: %s\n", next.status().ToString().c_str());
+      sources.pop_back();
+      continue;
+    }
+    engine = std::move(next);
+    std::printf("ok\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#ifndef CHRONOLOG_ANALYSIS_BOUNDEDNESS_H_
+#define CHRONOLOG_ANALYSIS_BOUNDEDNESS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Strong k-boundedness of function-free (plain Datalog) programs — the
+/// notion Theorem 6.2 reduces from: `S` is strongly k-bounded when
+/// `LFP(S, D) = T_{S∧D}^k(∅)` for EVERY function-free database `D`.
+/// Deciding it is undecidable (Gaifman–Mairson–Sagiv–Vardi, the paper's
+/// reference [8]), which is precisely how I-periodicity inherits
+/// undecidability. This header offers the two decidable fragments an
+/// engine actually needs:
+///
+///  * the exact per-database check (how many iterations did THIS database
+///    take?), and
+///  * a sound one-sided test over canonical databases that can refute
+///    boundedness and certify a candidate k empirically.
+
+/// Number of iterations of the immediate-consequence operator needed to
+/// reach the least fixpoint of `program ∧ db` (0 when the database is
+/// already closed). `program` must be function-free (no temporal
+/// predicates).
+Result<int64_t> FixpointIterations(const Program& program,
+                                   const Database& db,
+                                   uint64_t max_facts = 50'000'000);
+
+/// Outcome of the empirical boundedness probe.
+struct BoundednessProbe {
+  /// Largest iteration count observed across the probed databases.
+  int64_t max_iterations = 0;
+  /// True when some probed database family shows iteration counts growing
+  /// with the database size — a *refutation* of strong k-boundedness for
+  /// every k below the observed maximum. False means "bounded as far as
+  /// the probe can see" (no certificate: the problem is undecidable).
+  bool refuted = false;
+};
+
+/// Probes strong boundedness by running FixpointIterations over a family of
+/// canonical chain databases of growing size (every EDB predicate seeded
+/// along a chain of `sizes` constants). Non-function-free programs are
+/// rejected.
+Result<BoundednessProbe> ProbeBoundedness(const Program& program,
+                                          int max_chain = 32);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_BOUNDEDNESS_H_

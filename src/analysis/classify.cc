@@ -1,0 +1,139 @@
+#include "analysis/classify.h"
+
+#include <algorithm>
+
+#include "ast/printer.h"
+#include "eval/forward.h"
+
+namespace chronolog {
+
+bool IsRecursiveRule(const Rule& rule) {
+  for (const Atom& atom : rule.body) {
+    if (atom.pred == rule.head.pred) return true;
+  }
+  return false;
+}
+
+bool IsTimeOnlyRule(const Rule& rule) {
+  if (!IsRecursiveRule(rule)) return false;
+  for (const Atom& atom : rule.body) {
+    if (atom.pred == rule.head.pred && atom.args != rule.head.args) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsReducedTimeOnlyRule(const Rule& rule) {
+  if (!IsTimeOnlyRule(rule)) return false;
+  // Every non-temporal variable of the body must appear among the head's
+  // non-temporal arguments.
+  auto head_has = [&rule](VarId v) {
+    for (const NtTerm& t : rule.head.args) {
+      if (t.is_variable() && t.id == v) return true;
+    }
+    return false;
+  };
+  for (const Atom& atom : rule.body) {
+    for (const NtTerm& t : atom.args) {
+      if (t.is_variable() && !head_has(t.id)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsDataOnlyRule(const Rule& rule) {
+  if (!IsRecursiveRule(rule)) return false;
+  const TemporalTerm* common = nullptr;
+  auto check = [&common](const Atom& atom) {
+    if (!atom.temporal()) return true;
+    if (common == nullptr) {
+      common = &*atom.time;
+      return true;
+    }
+    return *common == *atom.time;
+  };
+  if (!check(rule.head)) return false;
+  for (const Atom& atom : rule.body) {
+    if (!check(atom)) return false;
+  }
+  return true;
+}
+
+SeparabilityReport CheckSeparability(const Program& program,
+                                     const DependencyGraph& graph) {
+  SeparabilityReport report;
+  if (graph.HasMutualRecursion()) {
+    report.reason = "program contains mutually recursive predicates";
+    return report;
+  }
+  bool separable = true;
+  for (const Rule& rule : program.rules()) {
+    if (!graph.IsRecursive(rule.head.pred)) continue;
+    if (!IsRecursiveRule(rule)) continue;  // base rules are unconstrained
+    bool time_only = IsTimeOnlyRule(rule);
+    bool data_only = IsDataOnlyRule(rule);
+    if (!time_only && !data_only) {
+      report.reason = "recursive rule '" +
+                      RuleToString(rule, program.vocab()) +
+                      "' is neither time-only nor data-only";
+      return report;
+    }
+    if (time_only && !data_only) {
+      // Separability further demands at most one temporal body literal.
+      int temporal_literals = 0;
+      for (const Atom& atom : rule.body) {
+        if (atom.temporal()) ++temporal_literals;
+      }
+      if (temporal_literals > 1) separable = false;
+    }
+  }
+  report.multi_separable = true;
+  report.separable = separable;
+  return report;
+}
+
+std::string ProgramClassification::ToString() const {
+  auto flag = [](bool b) { return b ? "yes" : "no"; };
+  std::string out;
+  out += "range_restricted:      " + std::string(flag(range_restricted)) + "\n";
+  out += "semi_normal:           " + std::string(flag(semi_normal)) + "\n";
+  out += "normal:                " + std::string(flag(normal)) + "\n";
+  out += "progressive:           " + std::string(flag(progressive));
+  if (!progressive && !progressivity_reason.empty()) {
+    out += "  (" + progressivity_reason + ")";
+  }
+  out += "\n";
+  out += "mutual_recursion_free: " + std::string(flag(mutual_recursion_free)) +
+         "\n";
+  out += "multi_separable:       " + std::string(flag(multi_separable));
+  if (!multi_separable && !separability_reason.empty()) {
+    out += "  (" + separability_reason + ")";
+  }
+  out += "\n";
+  out += "separable:             " + std::string(flag(separable)) + "\n";
+  out += "max_temporal_depth:    " + std::to_string(max_temporal_depth) + "\n";
+  return out;
+}
+
+ProgramClassification ClassifyProgram(const Program& program) {
+  ProgramClassification result;
+  result.range_restricted = program.IsRangeRestricted();
+  result.semi_normal = program.IsSemiNormal();
+  result.normal = program.IsNormal();
+  result.max_temporal_depth = program.MaxTemporalDepth();
+
+  ProgressivityReport progressive = CheckProgressive(program);
+  result.progressive = progressive.progressive;
+  result.progressivity_reason = progressive.reason;
+
+  DependencyGraph graph(program);
+  result.mutual_recursion_free = !graph.HasMutualRecursion();
+  SeparabilityReport separability = CheckSeparability(program, graph);
+  result.multi_separable = separability.multi_separable;
+  result.separable = separability.separable;
+  result.separability_reason = separability.reason;
+  return result;
+}
+
+}  // namespace chronolog

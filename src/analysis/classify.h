@@ -1,0 +1,68 @@
+#ifndef CHRONOLOG_ANALYSIS_CLASSIFY_H_
+#define CHRONOLOG_ANALYSIS_CLASSIFY_H_
+
+#include <string>
+
+#include "analysis/depgraph.h"
+#include "ast/program.h"
+
+namespace chronolog {
+
+/// True when `rule` is recursive in the direct sense used by Section 6:
+/// its head predicate also occurs in its body.
+bool IsRecursiveRule(const Rule& rule);
+
+/// A recursive rule is *time-only* when the non-temporal arguments in all
+/// occurrences of the recursive predicate are identical (Section 6), e.g.
+/// `near(T+1,X,Y) :- near(T,X,Y), idle(T,X), idle(T,Y).`
+bool IsTimeOnlyRule(const Rule& rule);
+
+/// A time-only rule is *reduced* when every non-temporal variable appearing
+/// in its body also appears in its head. Any time-only rule can be brought
+/// into this form by introducing auxiliary predicates (Section 6).
+bool IsReducedTimeOnlyRule(const Rule& rule);
+
+/// A recursive rule is *data-only* when the temporal argument of all its
+/// temporal literals is the identical term, e.g.
+/// `happy(T,X) :- happy(T,Y), friend(X,Y).`
+bool IsDataOnlyRule(const Rule& rule);
+
+/// Verdict of the multi-separability test with a human-readable reason on
+/// failure.
+struct SeparabilityReport {
+  bool multi_separable = false;
+  /// Separable rules additionally restrict recursive time-only rules to at
+  /// most one temporal literal in the body (Section 7 / reference [7]).
+  bool separable = false;
+  std::string reason;
+};
+
+/// Decides multi-separability (Section 6): the program must be free of
+/// mutual recursion and every *recursive* rule defining a recursive
+/// predicate must be time-only or data-only. Multi-separable programs are
+/// I-periodic (Theorem 6.5) and therefore tractable.
+SeparabilityReport CheckSeparability(const Program& program,
+                                     const DependencyGraph& graph);
+
+/// Aggregate syntactic classification of a program; the entry point used by
+/// the engine facade.
+struct ProgramClassification {
+  bool range_restricted = false;
+  bool semi_normal = false;
+  bool normal = false;
+  bool progressive = false;
+  bool mutual_recursion_free = false;
+  bool multi_separable = false;
+  bool separable = false;
+  int64_t max_temporal_depth = 0;  // the paper's g
+  std::string separability_reason;
+  std::string progressivity_reason;
+
+  std::string ToString() const;
+};
+
+ProgramClassification ClassifyProgram(const Program& program);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_CLASSIFY_H_

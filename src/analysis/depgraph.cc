@@ -1,0 +1,120 @@
+#include "analysis/depgraph.h"
+
+#include <algorithm>
+
+namespace chronolog {
+
+namespace {
+
+/// Iterative Tarjan SCC. Components are emitted callees-first, which is the
+/// reverse topological order we expose.
+struct TarjanState {
+  const std::vector<std::vector<PredicateId>>& adj;
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<PredicateId> stack;
+  std::vector<int>* component;
+  std::vector<std::vector<PredicateId>>* members;
+  int next_index = 0;
+  int next_component = 0;
+
+  explicit TarjanState(const std::vector<std::vector<PredicateId>>& a,
+                       std::vector<int>* comp,
+                       std::vector<std::vector<PredicateId>>* mem)
+      : adj(a),
+        index(a.size(), -1),
+        lowlink(a.size(), 0),
+        on_stack(a.size(), false),
+        component(comp),
+        members(mem) {}
+
+  void Run(PredicateId root) {
+    // Explicit DFS stack: (node, next child position).
+    std::vector<std::pair<PredicateId, std::size_t>> dfs;
+    dfs.emplace_back(root, 0);
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      auto& [v, child] = dfs.back();
+      if (child < adj[v].size()) {
+        PredicateId w = adj[v][child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.emplace_back(w, 0);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      // All children explored.
+      if (lowlink[v] == index[v]) {
+        members->emplace_back();
+        while (true) {
+          PredicateId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          (*component)[w] = next_component;
+          members->back().push_back(w);
+          if (w == v) break;
+        }
+        ++next_component;
+      }
+      PredicateId finished = v;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        PredicateId parent = dfs.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  const std::size_t n = program.vocab().num_predicates();
+  adj_.resize(n);
+  component_.assign(n, -1);
+  recursive_.assign(n, false);
+
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& atom : rule.body) {
+      adj_[rule.head.pred].push_back(atom.pred);
+      if (atom.pred == rule.head.pred) recursive_[rule.head.pred] = true;
+    }
+  }
+  for (auto& neighbors : adj_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+
+  TarjanState tarjan(adj_, &component_, &members_);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tarjan.index[v] == -1) tarjan.Run(static_cast<PredicateId>(v));
+  }
+  num_components_ = tarjan.next_component;
+
+  for (const auto& comp : members_) {
+    if (comp.size() > 1) {
+      has_mutual_recursion_ = true;
+      for (PredicateId p : comp) recursive_[p] = true;
+    }
+  }
+}
+
+std::vector<PredicateId> DependencyGraph::TopologicalOrder() const {
+  std::vector<PredicateId> order;
+  order.reserve(component_.size());
+  for (const auto& comp : members_) {
+    for (PredicateId p : comp) order.push_back(p);
+  }
+  return order;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,61 @@
+#ifndef CHRONOLOG_ANALYSIS_DEPGRAPH_H_
+#define CHRONOLOG_ANALYSIS_DEPGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace chronolog {
+
+/// Predicate dependency graph of a set of temporal rules: an edge
+/// `head -> body_pred` for every rule. Strongly connected components
+/// detect mutual recursion (forbidden by multi-separability, Section 6) and
+/// provide the stratum order used by the I-period computation (Theorem 6.5
+/// proceeds by induction on level numbers).
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Program& program);
+
+  std::size_t num_predicates() const { return adj_.size(); }
+
+  /// Predicates `head` depends on (deduplicated).
+  const std::vector<PredicateId>& DependsOn(PredicateId head) const {
+    return adj_[head];
+  }
+
+  /// Component index of `pred`; components are numbered in reverse
+  /// topological order (callees before callers), so iterating components in
+  /// increasing index order visits lower strata first.
+  int ComponentOf(PredicateId pred) const { return component_[pred]; }
+  int num_components() const { return num_components_; }
+
+  /// Members of each component, indexed by component id.
+  const std::vector<std::vector<PredicateId>>& components() const {
+    return members_;
+  }
+
+  /// True when some component contains two or more predicates — i.e. two
+  /// distinct predicates are mutually recursive.
+  bool HasMutualRecursion() const { return has_mutual_recursion_; }
+
+  /// True when `pred` is recursive: it belongs to a multi-predicate
+  /// component or some rule for `pred` mentions `pred` in its body.
+  bool IsRecursive(PredicateId pred) const { return recursive_[pred]; }
+
+  /// Predicates sorted by component index (lower strata first); the order
+  /// within a component is arbitrary.
+  std::vector<PredicateId> TopologicalOrder() const;
+
+ private:
+  std::vector<std::vector<PredicateId>> adj_;
+  std::vector<int> component_;
+  std::vector<std::vector<PredicateId>> members_;
+  std::vector<bool> recursive_;
+  int num_components_ = 0;
+  bool has_mutual_recursion_ = false;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_DEPGRAPH_H_

@@ -1,0 +1,49 @@
+#ifndef CHRONOLOG_ANALYSIS_INFLATIONARY_H_
+#define CHRONOLOG_ANALYSIS_INFLATIONARY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "spec/period.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Verdict of the inflationary test, with the predicates that failed the
+/// criterion (empty iff inflationary).
+struct InflationaryReport {
+  bool inflationary = true;
+  std::vector<PredicateId> failing_predicates;
+  /// Per-predicate detail: predicate name and whether `P(1, a)` was derivable
+  /// from `{P(0, a)}`.
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// Decides whether a (domain-independent) set of temporal rules is
+/// *inflationary* (Section 5): for every temporal database `D`, every
+/// derived temporal predicate `P` and all `t`, `x`:
+/// `M_{Z∧D} |= P(t, x)  =>  M_{Z∧D} |= P(t+1, x)`.
+///
+/// Implements the decision procedure of Theorem 5.2: `Z` is inflationary iff
+/// for every derived temporal predicate `P_i` (with fresh pairwise-distinct
+/// constants `a`), `P_i(1, a)` belongs to the least model of
+/// `Z ∧ {P_i(0, a)}`. Each check runs over a one-tuple database, so the
+/// procedure is polynomial in the size of `Z`.
+///
+/// Inflationary programs have periods `(poly(n)+1, 1)` (Theorem 5.1) and are
+/// therefore tractable.
+Result<InflationaryReport> CheckInflationary(
+    const Program& program, const PeriodDetectionOptions& options = {});
+
+/// Bound on `range(Z ∧ D)` for an inflationary program, derived from the
+/// proof of Theorem 5.1: states grow monotonically past the database
+/// horizon, so the number of distinct states is at most the maximal state
+/// size + 2. The state size is bounded by the number of derived-predicate
+/// tuples over the active domain: `sum_P |adom|^{arity(P)}`.
+/// Saturates at INT64_MAX for astronomically wide schemas.
+int64_t InflationaryRangeBound(const Program& program, const Database& db);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_INFLATIONARY_H_

@@ -1,0 +1,79 @@
+#ifndef CHRONOLOG_ANALYSIS_IPERIOD_H_
+#define CHRONOLOG_ANALYSIS_IPERIOD_H_
+
+#include <cstdint>
+
+#include "analysis/classify.h"
+#include "ast/program.h"
+#include "eval/forward.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Options for the exact (enumerative) I-period computation.
+struct IPeriodOptions {
+  /// Enumerate at most `2^max_bits` initial conditions. One bit per
+  /// (temporal predicate, look-back slot) pair; the computation refuses
+  /// larger instances rather than running forever.
+  int max_bits = 18;
+  /// Per-simulation step budget.
+  int64_t max_horizon = 1 << 16;
+};
+
+/// Result of the exact I-period computation.
+struct IPeriodResult {
+  /// A database-independent period `(b0, p0)`: for EVERY temporal database
+  /// `D`, `M[t] = M[t+p0]` for all `t >= b0 + c(D)`. `p0` is the lcm of the
+  /// cycle lengths over all enumerated initial conditions (hence every
+  /// minimal period of every least model divides it).
+  Period period;
+  /// Number of initial conditions simulated (`2^bits`).
+  uint64_t simulations = 0;
+};
+
+/// Computes an I-period of a multi-separable program by the skeleton-
+/// database construction of Theorem 6.3: for time-only reduced rules the
+/// trajectory of one constant vector is independent of all others, so it
+/// suffices to enumerate every truth assignment of the (temporal predicate,
+/// look-back slot) grid for a single generic constant, simulate each
+/// forward, and combine tails by max and cycle lengths by lcm.
+///
+/// Preconditions (checked; kFailedPrecondition otherwise):
+///  * multi-separable and progressive;
+///  * every temporal predicate has non-temporal arity <= 1;
+///  * every rule is *entity-local*: its body's non-temporal variables all
+///    appear in its head (so distinct constants never interact) and rules
+///    contain no non-temporal constants;
+///  * `(#temporal predicates) * max(1, g) <= max_bits`.
+///
+/// These cover the paper's canonical I-periodic workloads (counters,
+/// schedules over one entity column, temporalised bounded Datalog). The
+/// general case is intentionally out of budget — the paper's own
+/// construction enumerates 2^(2^s) skeleton databases.
+Result<IPeriodResult> ComputeIPeriod(const Program& program,
+                                     const IPeriodOptions& options = {});
+
+/// A static, database-independent upper bound on the I-period of a
+/// multi-separable program, computed stratum by stratum along the induction
+/// of Theorem 6.5 with saturating arithmetic:
+///
+///  * non-temporal / EDB strata contribute period 1;
+///  * data-only strata pass their inputs through (lcm / max);
+///  * an *autonomous single-delay* time-only stratum `P(T+k,...) :- P(T,...)`
+///    (plus non-temporal gates) has cycle lengths dividing `k`;
+///  * a general time-only stratum with look-back `g` driven by inputs of
+///    period `P` has cycle lengths at most `2^g * P`, hence its period
+///    divides `lcm(1 ... 2^g * P)` — astronomically large but finite, which
+///    is exactly the content of Theorem 6.5. Values beyond the uint64 range
+///    are reported as `saturated`.
+struct IPeriodBound {
+  uint64_t b = 0;
+  uint64_t p = 1;
+  bool saturated = false;
+};
+
+Result<IPeriodBound> IPeriodUpperBound(const Program& program);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_IPERIOD_H_

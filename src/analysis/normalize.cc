@@ -1,0 +1,258 @@
+#include "analysis/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chronolog {
+
+namespace {
+
+/// Collects the temporal variables of a rule in first-occurrence order.
+std::vector<VarId> TemporalVarsOf(const Rule& rule) {
+  std::vector<VarId> out;
+  auto consider = [&out](const Atom& atom) {
+    if (atom.temporal() && !atom.time->ground()) {
+      VarId v = atom.time->var;
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  };
+  consider(rule.head);
+  for (const Atom& atom : rule.body) consider(atom);
+  return out;
+}
+
+}  // namespace
+
+Result<Program> SemiNormalize(const Program& program) {
+  auto vocab = program.vocab_ptr();
+  Program out(vocab);
+  int fresh = 0;
+
+  for (const Rule& rule : program.rules()) {
+    std::vector<VarId> tvars = TemporalVarsOf(rule);
+    if (tvars.size() <= 1) {
+      out.AddRule(rule);
+      continue;
+    }
+    // Keep the head's temporal variable (it cannot be factored away);
+    // otherwise keep the first one.
+    VarId kept = tvars[0];
+    if (rule.head.temporal() && !rule.head.time->ground()) {
+      kept = rule.head.time->var;
+    }
+
+    Rule rewritten = rule;
+    for (VarId victim : tvars) {
+      if (victim == kept) continue;
+      // Cluster: body atoms whose temporal term uses `victim`.
+      std::vector<Atom> cluster;
+      std::vector<Atom> rest;
+      for (Atom& atom : rewritten.body) {
+        bool uses = atom.temporal() && !atom.time->ground() &&
+                    atom.time->var == victim;
+        (uses ? cluster : rest).push_back(std::move(atom));
+      }
+      // Non-temporal variables of the cluster, in order.
+      std::vector<VarId> nt_vars;
+      for (const Atom& atom : cluster) {
+        for (const NtTerm& t : atom.args) {
+          if (t.is_variable() &&
+              std::find(nt_vars.begin(), nt_vars.end(), t.id) ==
+                  nt_vars.end()) {
+            nt_vars.push_back(t.id);
+          }
+        }
+      }
+      // Fresh non-temporal predicate over the cluster's variables.
+      std::string name = "$sn" + std::to_string(fresh++) + "_" +
+                         vocab->predicate(rule.head.pred).name;
+      CHRONOLOG_ASSIGN_OR_RETURN(
+          PredicateId aux,
+          vocab->DeclarePredicate(name,
+                                  static_cast<uint32_t>(nt_vars.size())));
+
+      // Definition rule: aux(x...) :- cluster. Variables are renumbered
+      // into a fresh rule-local table.
+      Rule def;
+      std::map<VarId, VarId> remap;
+      auto map_var = [&](VarId v) {
+        auto it = remap.find(v);
+        if (it != remap.end()) return it->second;
+        VarId nv = static_cast<VarId>(def.var_names.size());
+        def.var_names.push_back(rule.var_names[v]);
+        def.temporal_vars.push_back(rule.temporal_vars[v]);
+        remap.emplace(v, nv);
+        return nv;
+      };
+      def.head.pred = aux;
+      for (VarId v : nt_vars) {
+        def.head.args.push_back(NtTerm::Variable(map_var(v)));
+      }
+      for (const Atom& atom : cluster) {
+        Atom mapped = atom;
+        if (mapped.temporal() && !mapped.time->ground()) {
+          mapped.time = TemporalTerm::Var(map_var(mapped.time->var),
+                                          mapped.time->offset);
+        }
+        for (NtTerm& t : mapped.args) {
+          if (t.is_variable()) t = NtTerm::Variable(map_var(t.id));
+        }
+        def.body.push_back(std::move(mapped));
+      }
+      out.AddRule(std::move(def));
+
+      // Replace the cluster by one aux atom in the original rule.
+      Atom replacement;
+      replacement.pred = aux;
+      for (VarId v : nt_vars) replacement.args.push_back(NtTerm::Variable(v));
+      rest.push_back(std::move(replacement));
+      rewritten.body = std::move(rest);
+    }
+    out.AddRule(std::move(rewritten));
+  }
+  return out;
+}
+
+Result<Program> Normalize(const Program& program) {
+  CHRONOLOG_ASSIGN_OR_RETURN(Program semi, SemiNormalize(program));
+  auto vocab = semi.vocab_ptr();
+  Program out(vocab);
+  int fresh = 0;
+  // Shared forward-shift predicates, keyed by (pred, lag).
+  std::map<std::pair<PredicateId, int64_t>, PredicateId> fwd;
+
+  // Returns $fwdj_Q with Q(T+j, y) <=> $fwdj_Q(T, y), creating the defining
+  // chain on first use.
+  auto fwd_pred = [&](PredicateId q, int64_t j) -> Result<PredicateId> {
+    auto it = fwd.find({q, j});
+    if (it != fwd.end()) return it->second;
+    // Copy: DeclarePredicate below may reallocate the predicate table.
+    const PredicateInfo info = vocab->predicate(q);
+    PredicateId prev = q;
+    for (int64_t l = 1; l <= j; ++l) {
+      auto lit = fwd.find({q, l});
+      if (lit != fwd.end()) {
+        prev = lit->second;
+        continue;
+      }
+      std::string name = "$fwd" + std::to_string(l) + "_" + info.name;
+      CHRONOLOG_ASSIGN_OR_RETURN(
+          PredicateId shifted, vocab->DeclarePredicate(name, info.arity + 1));
+      vocab->SetTemporal(shifted);
+      // $fwdl_Q(T, y) :- prev(T+1, y).
+      Rule def;
+      def.var_names.push_back("T");
+      def.temporal_vars.push_back(true);
+      def.head.pred = shifted;
+      def.head.time = TemporalTerm::Var(0, 0);
+      Atom body;
+      body.pred = prev;
+      body.time = TemporalTerm::Var(0, 1);
+      for (uint32_t a = 0; a < info.arity; ++a) {
+        VarId v = static_cast<VarId>(def.var_names.size());
+        def.var_names.push_back("Y" + std::to_string(a));
+        def.temporal_vars.push_back(false);
+        def.head.args.push_back(NtTerm::Variable(v));
+        body.args.push_back(NtTerm::Variable(v));
+      }
+      def.body.push_back(std::move(body));
+      out.AddRule(std::move(def));
+      fwd.emplace(std::make_pair(q, l), shifted);
+      prev = shifted;
+    }
+    return prev;
+  };
+
+  for (const Rule& rule : semi.rules()) {
+    if (rule.MaxTemporalDepth() <= 1) {
+      out.AddRule(rule);
+      continue;
+    }
+    Rule rewritten = rule;
+    // Deep body atoms become forward-shift atoms at offset 0.
+    for (Atom& atom : rewritten.body) {
+      if (atom.temporal() && !atom.time->ground() && atom.time->offset >= 2) {
+        CHRONOLOG_ASSIGN_OR_RETURN(PredicateId shifted,
+                                   fwd_pred(atom.pred, atom.time->offset));
+        atom.pred = shifted;
+        atom.time = TemporalTerm::Var(atom.time->var, 0);
+      }
+    }
+    // Deep heads are staged through a copy chain.
+    if (rewritten.head.temporal() && !rewritten.head.time->ground() &&
+        rewritten.head.time->offset >= 2) {
+      const int64_t a = rewritten.head.time->offset;
+      const VarId tvar = rewritten.head.time->var;
+      // Distinct head variables, in order (constants are reattached at the
+      // final step).
+      std::vector<VarId> xs;
+      for (const NtTerm& t : rewritten.head.args) {
+        if (t.is_variable() &&
+            std::find(xs.begin(), xs.end(), t.id) == xs.end()) {
+          xs.push_back(t.id);
+        }
+      }
+      const std::string base = "$nf" + std::to_string(fresh++) + "_" +
+                               vocab->predicate(rewritten.head.pred).name;
+      std::vector<PredicateId> stage(static_cast<std::size_t>(a));
+      for (int64_t i = 0; i < a; ++i) {
+        CHRONOLOG_ASSIGN_OR_RETURN(
+            stage[i],
+            vocab->DeclarePredicate(
+                base + "_" + std::to_string(i),
+                static_cast<uint32_t>(xs.size()) + 1));
+        vocab->SetTemporal(stage[i]);
+      }
+      // stage0(T, xs) :- body'.
+      Rule start;
+      start.var_names = rewritten.var_names;
+      start.temporal_vars = rewritten.temporal_vars;
+      start.head.pred = stage[0];
+      start.head.time = TemporalTerm::Var(tvar, 0);
+      for (VarId v : xs) start.head.args.push_back(NtTerm::Variable(v));
+      start.body = std::move(rewritten.body);
+      out.AddRule(std::move(start));
+      // stage_i(T+1, xs) :- stage_{i-1}(T, xs); the final link re-derives
+      // the original head pattern.
+      for (int64_t i = 1; i <= a; ++i) {
+        Rule link;
+        link.var_names.push_back(rule.var_names[tvar]);
+        link.temporal_vars.push_back(true);
+        Atom body;
+        body.pred = stage[i - 1];
+        body.time = TemporalTerm::Var(0, 0);
+        std::map<VarId, VarId> remap;
+        for (VarId v : xs) {
+          VarId nv = static_cast<VarId>(link.var_names.size());
+          link.var_names.push_back(rule.var_names[v]);
+          link.temporal_vars.push_back(false);
+          remap.emplace(v, nv);
+          body.args.push_back(NtTerm::Variable(nv));
+        }
+        if (i < a) {
+          link.head.pred = stage[i];
+          link.head.time = TemporalTerm::Var(0, 1);
+          for (VarId v : xs) {
+            link.head.args.push_back(NtTerm::Variable(remap[v]));
+          }
+        } else {
+          link.head.pred = rule.head.pred;
+          link.head.time = TemporalTerm::Var(0, 1);
+          for (const NtTerm& t : rule.head.args) {
+            link.head.args.push_back(
+                t.is_variable() ? NtTerm::Variable(remap[t.id]) : t);
+          }
+        }
+        link.body.push_back(std::move(body));
+        out.AddRule(std::move(link));
+      }
+    } else {
+      out.AddRule(std::move(rewritten));
+    }
+  }
+  return out;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,35 @@
+#ifndef CHRONOLOG_ANALYSIS_NORMALIZE_H_
+#define CHRONOLOG_ANALYSIS_NORMALIZE_H_
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Rewrites a set of temporal rules into an equivalent *semi-normal* set
+/// (at most one temporal variable per rule, Section 3.1): for every
+/// additional temporal variable `S` of a rule, the body atoms mentioning `S`
+/// are factored into a fresh non-temporal predicate
+/// `$snK_head(x...) :- cluster(S, x...)`, which existentially quantifies `S`
+/// away. The least model restricted to the original vocabulary is preserved.
+Result<Program> SemiNormalize(const Program& program);
+
+/// Rewrites a (semi-normal) set of temporal rules into an equivalent
+/// *normal* set (non-ground temporal terms of depth at most 1):
+///
+///  * a body atom `Q(T+j, y...)` with `j >= 2` becomes `$fwdj_Q(T, y...)`
+///    where `$fwd1_Q(T,y) :- Q(T+1,y)` and
+///    `$fwdj_Q(T,y) :- $fwd{j-1}_Q(T+1,y)`;
+///  * a head `P(T+a, x...)` with `a >= 2` is staged through a chain
+///    `$nfK_0(T,x) :- body`, `$nfK_i(T+1,x) :- $nfK_{i-1}(T,x)`,
+///    `P(T+1,x) :- $nfK_{a-1}(T,x)`.
+///
+/// As the paper notes (Section 6), this can introduce mutual recursion, so a
+/// multi-separable program may stop being multi-separable after
+/// normalisation; periodicity of the least model is unaffected. Non-semi-
+/// normal input is first passed through SemiNormalize.
+Result<Program> Normalize(const Program& program);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_NORMALIZE_H_

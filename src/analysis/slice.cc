@@ -1,0 +1,55 @@
+#include "analysis/slice.h"
+
+#include <algorithm>
+
+namespace chronolog {
+
+Result<ProgramSlice> SliceForGoals(const Program& program,
+                                   const std::vector<PredicateId>& goals) {
+  const std::size_t n = program.vocab().num_predicates();
+  for (PredicateId g : goals) {
+    if (g >= n) {
+      return InvalidArgumentError("SliceForGoals: unknown goal predicate id " +
+                                  std::to_string(g));
+    }
+  }
+  std::vector<bool> relevant(n, false);
+  for (PredicateId g : goals) relevant[g] = true;
+
+  // Close under "body predicates of rules defining a relevant predicate".
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      if (!relevant[rule.head.pred]) continue;
+      for (const Atom& atom : rule.body) {
+        if (!relevant[atom.pred]) {
+          relevant[atom.pred] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  ProgramSlice slice{Program(program.vocab_ptr()), {}};
+  for (const Rule& rule : program.rules()) {
+    if (relevant[rule.head.pred]) slice.program.AddRule(rule);
+  }
+  for (PredicateId p = 0; p < n; ++p) {
+    if (relevant[p]) slice.relevant.push_back(p);
+  }
+  return slice;
+}
+
+Database SliceDatabase(const Database& db,
+                       const std::vector<PredicateId>& relevant) {
+  Database out(db.vocab_ptr());
+  for (const GroundAtom& fact : db.facts()) {
+    if (std::binary_search(relevant.begin(), relevant.end(), fact.pred)) {
+      out.AddFact(fact);
+    }
+  }
+  return out;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,38 @@
+#ifndef CHRONOLOG_ANALYSIS_SLICE_H_
+#define CHRONOLOG_ANALYSIS_SLICE_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Goal-directed program slicing — the simplest sound instance of the
+/// rule-rewriting optimisations the paper's Section 8 leaves as future
+/// work. Keeps exactly the rules whose head predicate can (transitively)
+/// feed a goal predicate:
+///
+///   relevant := goals;  repeat: for every rule with head ∈ relevant,
+///   add its body predicates to relevant;  until fixpoint.
+///
+/// The sliced program has the same least model as the original when both
+/// are restricted to the relevant predicates, so any query mentioning only
+/// goal predicates can be evaluated against the (often much smaller) slice.
+struct ProgramSlice {
+  Program program;
+  /// Predicates retained by the slice (goals + everything they depend on).
+  std::vector<PredicateId> relevant;
+};
+
+Result<ProgramSlice> SliceForGoals(const Program& program,
+                                   const std::vector<PredicateId>& goals);
+
+/// Drops database facts whose predicate is irrelevant to the slice (they
+/// can never participate in a retained rule nor answer a goal query).
+Database SliceDatabase(const Database& db,
+                       const std::vector<PredicateId>& relevant);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_SLICE_H_

@@ -1,0 +1,98 @@
+#include "analysis/temporalize.h"
+
+#include <memory>
+
+namespace chronolog {
+
+Result<ParsedUnit> TemporalizeDatalog(const Program& program,
+                                      const Database& database) {
+  const Vocabulary& old_vocab = program.vocab();
+  for (PredicateId p : old_vocab.AllPredicates()) {
+    if (old_vocab.predicate(p).is_temporal) {
+      return InvalidArgumentError(
+          "TemporalizeDatalog requires a function-free program; predicate '" +
+          old_vocab.predicate(p).name + "' is already temporal");
+    }
+  }
+
+  auto vocab = std::make_shared<Vocabulary>();
+  // Same predicate names, one extra (temporal) argument.
+  std::vector<PredicateId> pred_map(old_vocab.num_predicates());
+  for (PredicateId p : old_vocab.AllPredicates()) {
+    const PredicateInfo& info = old_vocab.predicate(p);
+    CHRONOLOG_ASSIGN_OR_RETURN(
+        PredicateId np, vocab->DeclarePredicate(info.name, info.arity + 1));
+    vocab->SetTemporal(np);
+    pred_map[p] = np;
+  }
+  std::vector<SymbolId> const_map(old_vocab.num_constants());
+  for (std::size_t c = 0; c < old_vocab.num_constants(); ++c) {
+    const_map[c] =
+        vocab->InternConstant(old_vocab.ConstantName(static_cast<SymbolId>(c)));
+  }
+
+  ParsedUnit unit{Program(vocab), Database(vocab)};
+
+  // Iteration-counting rules: head at T+1, body at T.
+  for (const Rule& rule : program.rules()) {
+    Rule out;
+    out.var_names = rule.var_names;
+    out.temporal_vars.assign(rule.var_names.size(), false);
+    VarId time_var = static_cast<VarId>(out.var_names.size());
+    out.var_names.push_back("T");
+    out.temporal_vars.push_back(true);
+
+    auto lift = [&](const Atom& atom, int64_t offset) {
+      Atom out_atom;
+      out_atom.pred = pred_map[atom.pred];
+      out_atom.time = TemporalTerm::Var(time_var, offset);
+      out_atom.args.reserve(atom.args.size());
+      for (const NtTerm& t : atom.args) {
+        out_atom.args.push_back(t.is_constant()
+                                    ? NtTerm::Constant(const_map[t.id])
+                                    : t);
+      }
+      return out_atom;
+    };
+
+    out.head = lift(rule.head, 1);
+    for (const Atom& atom : rule.body) out.body.push_back(lift(atom, 0));
+    unit.program.AddRule(std::move(out));
+  }
+
+  // Copying rules `P(T+1, X...) :- P(T, X...)` for every predicate.
+  for (PredicateId p : old_vocab.AllPredicates()) {
+    const PredicateInfo& info = old_vocab.predicate(p);
+    Rule copy;
+    copy.var_names.push_back("T");
+    copy.temporal_vars.push_back(true);
+    Atom head;
+    head.pred = pred_map[p];
+    head.time = TemporalTerm::Var(0, 1);
+    Atom body = head;
+    body.time = TemporalTerm::Var(0, 0);
+    for (uint32_t j = 0; j < info.arity; ++j) {
+      VarId v = static_cast<VarId>(copy.var_names.size());
+      copy.var_names.push_back("X" + std::to_string(j));
+      copy.temporal_vars.push_back(false);
+      head.args.push_back(NtTerm::Variable(v));
+      body.args.push_back(NtTerm::Variable(v));
+    }
+    copy.head = std::move(head);
+    copy.body.push_back(std::move(body));
+    unit.program.AddRule(std::move(copy));
+  }
+
+  // Database tuples gain temporal argument 0.
+  for (const GroundAtom& f : database.facts()) {
+    GroundAtom out;
+    out.pred = pred_map[f.pred];
+    out.time = 0;
+    out.args.reserve(f.args.size());
+    for (SymbolId c : f.args) out.args.push_back(const_map[c]);
+    unit.database.AddFact(std::move(out));
+  }
+  return unit;
+}
+
+}  // namespace chronolog

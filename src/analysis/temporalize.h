@@ -1,0 +1,33 @@
+#ifndef CHRONOLOG_ANALYSIS_TEMPORALIZE_H_
+#define CHRONOLOG_ANALYSIS_TEMPORALIZE_H_
+
+#include "ast/parser.h"
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// The reduction of Theorem 6.2: transforms a function-free (plain Datalog)
+/// program `S` and database into a temporal program `S'` that *counts the
+/// iterations* of `S`:
+///
+///  * every rule `a(X,Z) :- p(X,Y), a(Y,Z).` becomes
+///    `a(T+1,X,Z) :- p(T,X,Y), a(T,Y,Z).`;
+///  * every predicate gains a copying rule `a(T+1,X,Y) :- a(T,X,Y).`;
+///  * every database tuple gains temporal argument 0.
+///
+/// `S` is strongly k-bounded iff `S'` is I-periodic with I-period `(k, 1)` —
+/// which is how the paper proves I-periodicity undecidable, and which this
+/// library uses as a workload generator (experiment E7): bounded Datalog
+/// programs yield temporal programs whose detected period is independent of
+/// the database, unbounded ones yield periods growing with (e.g.) graph
+/// diameter.
+///
+/// The input must be purely non-temporal; the result lives in a fresh
+/// vocabulary whose predicates have the same names but are temporal.
+Result<ParsedUnit> TemporalizeDatalog(const Program& program,
+                                      const Database& database);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_ANALYSIS_TEMPORALIZE_H_

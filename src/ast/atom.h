@@ -1,0 +1,61 @@
+#ifndef CHRONOLOG_AST_ATOM_H_
+#define CHRONOLOG_AST_ATOM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ast/term.h"
+#include "ast/vocabulary.h"
+#include "util/hash.h"
+
+namespace chronolog {
+
+/// A (possibly non-ground) atom of the rule language. For a temporal
+/// predicate `P`, `P(v, x1, ..., xn)` stores the temporal argument `v` in
+/// `time` and the non-temporal arguments in `args`; for a non-temporal
+/// predicate `time` is absent.
+struct Atom {
+  PredicateId pred = kInvalidPredicate;
+  std::optional<TemporalTerm> time;
+  std::vector<NtTerm> args;
+
+  bool temporal() const { return time.has_value(); }
+
+  /// Depth of the temporal term; 0 for non-temporal atoms.
+  int64_t temporal_depth() const { return temporal() ? time->depth() : 0; }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.pred == b.pred && a.time == b.time && a.args == b.args;
+  }
+};
+
+/// A fully ground atom — a database tuple (Section 3.1) or an element of a
+/// Herbrand interpretation. `time` is meaningful only for temporal
+/// predicates (callers must consult the Vocabulary); it is kept at 0 for
+/// non-temporal atoms so equality/hashing stay uniform.
+struct GroundAtom {
+  PredicateId pred = kInvalidPredicate;
+  int64_t time = 0;
+  std::vector<SymbolId> args;
+
+  GroundAtom() = default;
+  GroundAtom(PredicateId p, int64_t t, std::vector<SymbolId> a)
+      : pred(p), time(t), args(std::move(a)) {}
+
+  friend bool operator==(const GroundAtom& a, const GroundAtom& b) {
+    return a.pred == b.pred && a.time == b.time && a.args == b.args;
+  }
+};
+
+struct GroundAtomHash {
+  std::size_t operator()(const GroundAtom& g) const {
+    std::size_t seed = static_cast<std::size_t>(g.pred);
+    HashCombine(seed, static_cast<std::size_t>(g.time));
+    return HashRange(g.args.data(), g.args.size(), seed);
+  }
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_ATOM_H_

@@ -1,0 +1,51 @@
+#ifndef CHRONOLOG_AST_LEXER_H_
+#define CHRONOLOG_AST_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Token kinds of the chronolog surface syntax (rules, facts, directives and
+/// first-order queries share one lexer).
+enum class TokenKind {
+  kIdent,      // lowercase-led identifier or quoted constant: foo, 'Hunter'
+  kVar,        // uppercase- or underscore-led identifier: T, X, _foo
+  kInt,        // non-negative decimal integer (a ground temporal term)
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kDot,        // .
+  kColonDash,  // :-
+  kPlus,       // +
+  kAt,         // @  (directive lead-in)
+  kSlash,      // /  (arity separator in directives)
+  kAmp,        // &  (query conjunction)
+  kPipe,       // |  (query disjunction)
+  kTilde,      // ~  (query negation)
+  kEq,         // =  (query equality; model-only, see paper Section 8)
+  kEof,
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier / variable spelling
+  uint64_t int_value = 0; // for kInt
+  int line = 0;
+  int column = 0;
+};
+
+/// Converts `source` into a token stream. Comments run from `%` or `//` to
+/// end of line. Fails with kInvalidArgument on unknown characters, unmatched
+/// quotes, or integer overflow.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_LEXER_H_

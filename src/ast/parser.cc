@@ -1,0 +1,548 @@
+#include "ast/parser.h"
+
+#include <cassert>
+
+namespace chronolog {
+
+namespace {
+
+std::string At(int line, int column) {
+  return " at line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
+Status Unexpected(const Token& tok, std::string_view expected) {
+  return InvalidArgumentError("expected " + std::string(expected) + " but found " +
+                              std::string(TokenKindToString(tok.kind)) +
+                              (tok.text.empty() ? "" : " '" + tok.text + "'") +
+                              At(tok.line, tok.column));
+}
+
+}  // namespace
+
+Parser::Parser(std::shared_ptr<Vocabulary> vocab)
+    : vocab_(vocab ? std::move(vocab) : std::make_shared<Vocabulary>()) {
+  // Seed predicate states from the pre-existing vocabulary: signatures of
+  // already-known predicates are binding.
+  for (PredicateId id : vocab_->AllPredicates()) {
+    const PredicateInfo& info = vocab_->predicate(id);
+    PredState state;
+    state.written_arity = info.written_arity();
+    state.sort = info.is_temporal ? Sort::kTemporal : Sort::kNonTemporal;
+    state.pinned = true;
+    pred_states_.emplace(info.name, state);
+  }
+}
+
+Status Parser::AddSource(std::string_view source) {
+  if (finished_) {
+    return FailedPreconditionError("Parser::AddSource called after Finish");
+  }
+  CHRONOLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return ParseUnitTokens(tokens);
+}
+
+Status Parser::ParseUnitTokens(const std::vector<Token>& tokens) {
+  std::size_t pos = 0;
+  while (tokens[pos].kind != TokenKind::kEof) {
+    if (tokens[pos].kind == TokenKind::kAt) {
+      CHRONOLOG_RETURN_IF_ERROR(ParseDirective(tokens, &pos));
+      continue;
+    }
+    RawClause clause;
+    CHRONOLOG_ASSIGN_OR_RETURN(clause.head, ParseRawAtom(tokens, &pos));
+    if (tokens[pos].kind == TokenKind::kColonDash) {
+      ++pos;
+      clause.is_rule = true;
+      while (true) {
+        CHRONOLOG_ASSIGN_OR_RETURN(RawAtom atom, ParseRawAtom(tokens, &pos));
+        clause.body.push_back(std::move(atom));
+        if (tokens[pos].kind == TokenKind::kComma) {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+    }
+    if (tokens[pos].kind != TokenKind::kDot) {
+      return Unexpected(tokens[pos], "'.' terminating the clause");
+    }
+    ++pos;
+    CHRONOLOG_RETURN_IF_ERROR(NotePredicate(clause.head));
+    for (const RawAtom& a : clause.body) {
+      CHRONOLOG_RETURN_IF_ERROR(NotePredicate(a));
+    }
+    clauses_.push_back(std::move(clause));
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseDirective(const std::vector<Token>& tokens,
+                              std::size_t* pos) {
+  const Token& at = tokens[*pos];
+  ++*pos;  // consume '@'
+  const Token& kw = tokens[*pos];
+  if (kw.kind != TokenKind::kIdent ||
+      (kw.text != "temporal" && kw.text != "predicate")) {
+    return Unexpected(kw, "'temporal' or 'predicate' after '@'");
+  }
+  const bool temporal = kw.text == "temporal";
+  ++*pos;
+  const Token& name = tokens[*pos];
+  if (name.kind != TokenKind::kIdent) {
+    return Unexpected(name, "predicate name in @temporal directive");
+  }
+  ++*pos;
+  if (tokens[*pos].kind != TokenKind::kSlash) {
+    return Unexpected(tokens[*pos], "'/' in @temporal directive");
+  }
+  ++*pos;
+  const Token& arity = tokens[*pos];
+  if (arity.kind != TokenKind::kInt) {
+    return Unexpected(arity, "arity in @temporal directive");
+  }
+  ++*pos;
+  if (tokens[*pos].kind != TokenKind::kDot) {
+    return Unexpected(tokens[*pos], "'.' terminating the directive");
+  }
+  ++*pos;
+
+  if (temporal && arity.int_value == 0) {
+    return InvalidArgumentError(
+        "@temporal predicate must have at least the temporal argument" +
+        At(at.line, at.column));
+  }
+  const Sort declared = temporal ? Sort::kTemporal : Sort::kNonTemporal;
+  auto [it, inserted] = pred_states_.try_emplace(name.text);
+  PredState& state = it->second;
+  if (!inserted) {
+    if (state.written_arity != arity.int_value) {
+      return InvalidArgumentError(
+          "@" + kw.text + " " + name.text + "/" +
+          std::to_string(arity.int_value) +
+          " conflicts with previous arity " +
+          std::to_string(state.written_arity) + At(at.line, at.column));
+    }
+    if (state.sort != Sort::kUnknown && state.sort != declared) {
+      return InvalidArgumentError("@" + kw.text + " " + name.text +
+                                  " conflicts with previous usage" +
+                                  At(at.line, at.column));
+    }
+  } else {
+    state.written_arity = static_cast<uint32_t>(arity.int_value);
+  }
+  state.sort = declared;
+  state.pinned = true;
+  state.line = at.line;
+  state.column = at.column;
+  return Status::Ok();
+}
+
+Result<Parser::RawAtom> Parser::ParseRawAtom(const std::vector<Token>& tokens,
+                                             std::size_t* pos) {
+  const Token& name = tokens[*pos];
+  if (name.kind != TokenKind::kIdent) {
+    return Unexpected(name, "predicate name");
+  }
+  RawAtom atom;
+  atom.pred = name.text;
+  atom.line = name.line;
+  atom.column = name.column;
+  ++*pos;
+  if (tokens[*pos].kind != TokenKind::kLParen) {
+    return atom;  // zero-ary predicate
+  }
+  ++*pos;
+  while (true) {
+    CHRONOLOG_ASSIGN_OR_RETURN(RawTerm term, ParseRawTerm(tokens, pos));
+    atom.args.push_back(std::move(term));
+    if (tokens[*pos].kind == TokenKind::kComma) {
+      ++*pos;
+      continue;
+    }
+    break;
+  }
+  if (tokens[*pos].kind != TokenKind::kRParen) {
+    return Unexpected(tokens[*pos], "')' closing the argument list");
+  }
+  ++*pos;
+  return atom;
+}
+
+Result<Parser::RawTerm> Parser::ParseRawTerm(const std::vector<Token>& tokens,
+                                             std::size_t* pos) {
+  const Token& tok = tokens[*pos];
+  RawTerm term;
+  term.line = tok.line;
+  term.column = tok.column;
+  switch (tok.kind) {
+    case TokenKind::kInt:
+      term.kind = RawTerm::Kind::kInt;
+      term.value = tok.int_value;
+      ++*pos;
+      // Interval abbreviation `lo..hi` (paper, Section 2, footnote 1):
+      // a fact over every time point of the closed interval.
+      if (tokens[*pos].kind == TokenKind::kDot &&
+          tokens[*pos + 1].kind == TokenKind::kDot) {
+        *pos += 2;
+        const Token& hi = tokens[*pos];
+        if (hi.kind != TokenKind::kInt) {
+          return Unexpected(hi, "upper bound after '..'");
+        }
+        if (hi.int_value < term.value) {
+          return InvalidArgumentError(
+              "empty interval " + std::to_string(term.value) + ".." +
+              std::to_string(hi.int_value) + At(hi.line, hi.column));
+        }
+        if (hi.int_value - term.value > 1'000'000) {
+          return InvalidArgumentError(
+              "interval " + std::to_string(term.value) + ".." +
+              std::to_string(hi.int_value) +
+              " expands to more than 1000000 facts" + At(hi.line, hi.column));
+        }
+        term.kind = RawTerm::Kind::kInterval;
+        term.value_hi = hi.int_value;
+        ++*pos;
+      }
+      return term;
+    case TokenKind::kIdent:
+      term.kind = RawTerm::Kind::kConst;
+      term.text = tok.text;
+      ++*pos;
+      return term;
+    case TokenKind::kVar: {
+      term.kind = RawTerm::Kind::kVar;
+      term.text = tok.text;
+      ++*pos;
+      if (tokens[*pos].kind == TokenKind::kPlus) {
+        ++*pos;
+        const Token& offset = tokens[*pos];
+        if (offset.kind != TokenKind::kInt) {
+          return Unexpected(offset, "integer offset after '+'");
+        }
+        term.value = offset.int_value;
+        ++*pos;
+      }
+      return term;
+    }
+    default:
+      return Unexpected(tok, "a term (integer, constant, or variable)");
+  }
+}
+
+Status Parser::NotePredicate(const RawAtom& atom) {
+  auto [it, inserted] = pred_states_.try_emplace(atom.pred);
+  PredState& state = it->second;
+  if (inserted) {
+    state.written_arity = static_cast<uint32_t>(atom.args.size());
+    state.line = atom.line;
+    state.column = atom.column;
+    return Status::Ok();
+  }
+  if (state.written_arity != atom.args.size()) {
+    return InvalidArgumentError(
+        "predicate '" + atom.pred + "' used with " +
+        std::to_string(atom.args.size()) + " arguments but previously with " +
+        std::to_string(state.written_arity) + At(atom.line, atom.column));
+  }
+  return Status::Ok();
+}
+
+Status Parser::InferSorts() {
+  var_sorts_.assign(clauses_.size(), {});
+
+  // Set `sort` for variable `name` of clause `ci`; conflict is an error.
+  auto set_var = [&](std::size_t ci, const std::string& name, Sort sort,
+                     int line, int column) -> Status {
+    Sort& slot = var_sorts_[ci][name];
+    if (slot == Sort::kUnknown) {
+      slot = sort;
+      return Status::Ok();
+    }
+    if (slot != sort) {
+      return InvalidArgumentError(
+          "variable '" + name + "' is used both as a temporal and as a "
+          "non-temporal term" + At(line, column));
+    }
+    return Status::Ok();
+  };
+
+  auto set_pred = [&](const std::string& name, Sort sort, int line,
+                      int column) -> Status {
+    PredState& state = pred_states_.at(name);
+    if (state.sort == Sort::kUnknown) {
+      state.sort = sort;
+      return Status::Ok();
+    }
+    if (state.sort != sort) {
+      return InvalidArgumentError(
+          "predicate '" + name + "' is used both with a temporal and with a "
+          "non-temporal first argument" + At(line, column));
+    }
+    return Status::Ok();
+  };
+
+  // Monotone constraint propagation to a fixpoint. Sorts only move from
+  // kUnknown to a known sort, so the loop terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+      const RawClause& clause = clauses_[ci];
+      std::vector<const RawAtom*> atoms;
+      atoms.push_back(&clause.head);
+      for (const RawAtom& a : clause.body) atoms.push_back(&a);
+
+      for (const RawAtom* atom : atoms) {
+        PredState& pstate = pred_states_.at(atom->pred);
+        for (std::size_t j = 0; j < atom->args.size(); ++j) {
+          const RawTerm& t = atom->args[j];
+          bool first = (j == 0);
+          // Syntactically temporal terms.
+          bool syntactically_temporal =
+              t.kind == RawTerm::Kind::kInt ||
+              t.kind == RawTerm::Kind::kInterval ||
+              (t.kind == RawTerm::Kind::kVar && t.value > 0);
+          if (!first && syntactically_temporal) {
+            return InvalidArgumentError(
+                "temporal term in non-temporal argument position of '" +
+                atom->pred + "'" + At(t.line, t.column));
+          }
+          if (first && syntactically_temporal &&
+              pstate.sort != Sort::kTemporal) {
+            CHRONOLOG_RETURN_IF_ERROR(
+                set_pred(atom->pred, Sort::kTemporal, t.line, t.column));
+            changed = true;
+          }
+
+          Sort position_sort;
+          if (first && pstate.sort == Sort::kTemporal) {
+            position_sort = Sort::kTemporal;
+          } else if (pstate.sort == Sort::kUnknown && first) {
+            position_sort = Sort::kUnknown;  // undetermined yet
+          } else {
+            position_sort = Sort::kNonTemporal;
+          }
+
+          if (t.kind == RawTerm::Kind::kConst) {
+            if (position_sort == Sort::kTemporal) {
+              return InvalidArgumentError(
+                  "constant '" + t.text +
+                  "' in the temporal argument position of '" + atom->pred +
+                  "'" + At(t.line, t.column));
+            }
+            continue;
+          }
+          if (t.kind == RawTerm::Kind::kInt ||
+              t.kind == RawTerm::Kind::kInterval) {
+            if (position_sort == Sort::kNonTemporal) {
+              return InvalidArgumentError(
+                  "integer in non-temporal argument position of '" +
+                  atom->pred + "'" + At(t.line, t.column));
+            }
+            continue;
+          }
+          // Variable.
+          Sort prev = var_sorts_[ci].count(t.text)
+                          ? var_sorts_[ci][t.text]
+                          : Sort::kUnknown;
+          if (position_sort != Sort::kUnknown) {
+            CHRONOLOG_RETURN_IF_ERROR(
+                set_var(ci, t.text, position_sort, t.line, t.column));
+            if (prev == Sort::kUnknown) changed = true;
+          } else if (prev != Sort::kUnknown) {
+            // Variable sort known; propagate to the predicate (first
+            // position, predicate still unknown).
+            CHRONOLOG_RETURN_IF_ERROR(
+                set_pred(atom->pred, prev, t.line, t.column));
+            changed = true;
+          }
+          if (t.value > 0) {
+            CHRONOLOG_RETURN_IF_ERROR(
+                set_var(ci, t.text, Sort::kTemporal, t.line, t.column));
+            if (prev == Sort::kUnknown) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Defaults: everything still unknown is non-temporal. Every variable
+  // occurrence gets an entry so lowering can rely on lookups succeeding.
+  for (auto& [name, state] : pred_states_) {
+    if (state.sort == Sort::kUnknown) state.sort = Sort::kNonTemporal;
+  }
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    const RawClause& clause = clauses_[ci];
+    auto note_vars = [&](const RawAtom& atom) {
+      for (const RawTerm& t : atom.args) {
+        if (t.kind == RawTerm::Kind::kVar) {
+          var_sorts_[ci].try_emplace(t.text, Sort::kUnknown);
+        }
+      }
+    };
+    note_vars(clause.head);
+    for (const RawAtom& a : clause.body) note_vars(a);
+    for (auto& [name, sort] : var_sorts_[ci]) {
+      if (sort == Sort::kUnknown) sort = Sort::kNonTemporal;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ParsedUnit> Parser::Lower() {
+  // Declare every predicate with its resolved signature.
+  for (const auto& [name, state] : pred_states_) {
+    CHRONOLOG_ASSIGN_OR_RETURN(
+        PredicateId id, vocab_->DeclarePredicate(name, state.written_arity));
+    if (state.sort == Sort::kTemporal) {
+      if (state.written_arity == 0) {
+        return InvalidArgumentError("temporal predicate '" + name +
+                                    "' needs the temporal argument");
+      }
+      if (!vocab_->predicate(id).is_temporal) vocab_->SetTemporal(id);
+    } else if (vocab_->predicate(id).is_temporal) {
+      return InvalidArgumentError(
+          "predicate '" + name +
+          "' was declared temporal but is now used as non-temporal");
+    }
+  }
+
+  ParsedUnit unit{Program(vocab_), Database(vocab_)};
+
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    const RawClause& clause = clauses_[ci];
+    const auto& sorts = var_sorts_[ci];
+
+    // Rule-local variable numbering.
+    std::unordered_map<std::string, VarId> var_ids;
+    std::vector<std::string> var_names;
+    std::vector<bool> temporal_vars;
+    auto var_id = [&](const std::string& name) {
+      auto it = var_ids.find(name);
+      if (it != var_ids.end()) return it->second;
+      VarId id = static_cast<VarId>(var_names.size());
+      var_ids.emplace(name, id);
+      var_names.push_back(name);
+      temporal_vars.push_back(sorts.at(name) == Sort::kTemporal);
+      return id;
+    };
+
+    auto lower_atom = [&](const RawAtom& raw) -> Result<Atom> {
+      Atom atom;
+      atom.pred = vocab_->FindPredicate(raw.pred);
+      const PredicateInfo& info = vocab_->predicate(atom.pred);
+      std::size_t j = 0;
+      if (info.is_temporal) {
+        const RawTerm& t = raw.args[0];
+        if (t.kind == RawTerm::Kind::kInt) {
+          atom.time = TemporalTerm::Ground(static_cast<int64_t>(t.value));
+        } else {
+          assert(t.kind == RawTerm::Kind::kVar);
+          atom.time =
+              TemporalTerm::Var(var_id(t.text), static_cast<int64_t>(t.value));
+        }
+        j = 1;
+      }
+      for (; j < raw.args.size(); ++j) {
+        const RawTerm& t = raw.args[j];
+        if (t.kind == RawTerm::Kind::kConst) {
+          atom.args.push_back(NtTerm::Constant(vocab_->InternConstant(t.text)));
+        } else if (t.kind == RawTerm::Kind::kVar) {
+          atom.args.push_back(NtTerm::Variable(var_id(t.text)));
+        } else {
+          return InternalError("integer survived sort checking in '" +
+                               raw.pred + "'" + At(t.line, t.column));
+        }
+      }
+      return atom;
+    };
+
+    auto has_interval = [](const RawAtom& atom) {
+      for (const RawTerm& t : atom.args) {
+        if (t.kind == RawTerm::Kind::kInterval) return true;
+      }
+      return false;
+    };
+
+    if (clause.is_rule) {
+      if (has_interval(clause.head)) {
+        return InvalidArgumentError(
+            "interval terms are fact abbreviations and cannot appear in "
+            "rules" + At(clause.head.line, clause.head.column));
+      }
+      for (const RawAtom& raw : clause.body) {
+        if (has_interval(raw)) {
+          return InvalidArgumentError(
+              "interval terms are fact abbreviations and cannot appear in "
+              "rules" + At(raw.line, raw.column));
+        }
+      }
+      Rule rule;
+      CHRONOLOG_ASSIGN_OR_RETURN(rule.head, lower_atom(clause.head));
+      for (const RawAtom& raw : clause.body) {
+        CHRONOLOG_ASSIGN_OR_RETURN(Atom atom, lower_atom(raw));
+        rule.body.push_back(std::move(atom));
+      }
+      rule.var_names = std::move(var_names);
+      rule.temporal_vars = std::move(temporal_vars);
+      if (!rule.IsRangeRestricted()) {
+        return InvalidArgumentError(
+            "rule for '" + clause.head.pred +
+            "' is not range-restricted (every head variable must also occur "
+            "in the body)" + At(clause.head.line, clause.head.column));
+      }
+      unit.program.AddRule(std::move(rule));
+    } else {
+      // A clause without body is a database tuple and must be ground.
+      // An interval in the temporal argument abbreviates one tuple per
+      // time point (paper, Section 2, footnote 1).
+      std::vector<RawAtom> expanded;
+      if (has_interval(clause.head)) {
+        const RawTerm& span = clause.head.args[0];
+        for (uint64_t t = span.value; t <= span.value_hi; ++t) {
+          RawAtom copy = clause.head;
+          copy.args[0].kind = RawTerm::Kind::kInt;
+          copy.args[0].value = t;
+          expanded.push_back(std::move(copy));
+        }
+      } else {
+        expanded.push_back(clause.head);
+      }
+      for (const RawAtom& raw : expanded) {
+        CHRONOLOG_ASSIGN_OR_RETURN(Atom atom, lower_atom(raw));
+        if (!var_names.empty()) {
+          return InvalidArgumentError(
+              "database tuple for '" + clause.head.pred +
+              "' contains variables" +
+              At(clause.head.line, clause.head.column));
+        }
+        GroundAtom fact;
+        fact.pred = atom.pred;
+        fact.time = atom.temporal() ? atom.time->offset : 0;
+        fact.args.reserve(atom.args.size());
+        for (const NtTerm& t : atom.args) fact.args.push_back(t.id);
+        unit.database.AddFact(std::move(fact));
+      }
+    }
+  }
+  return unit;
+}
+
+Result<ParsedUnit> Parser::Finish() {
+  if (finished_) {
+    return FailedPreconditionError("Parser::Finish called twice");
+  }
+  finished_ = true;
+  CHRONOLOG_RETURN_IF_ERROR(InferSorts());
+  return Lower();
+}
+
+Result<ParsedUnit> Parser::Parse(std::string_view source,
+                                 std::shared_ptr<Vocabulary> vocab) {
+  Parser parser(std::move(vocab));
+  CHRONOLOG_RETURN_IF_ERROR(parser.AddSource(source));
+  return parser.Finish();
+}
+
+}  // namespace chronolog

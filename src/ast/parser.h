@@ -1,0 +1,120 @@
+#ifndef CHRONOLOG_AST_PARSER_H_
+#define CHRONOLOG_AST_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/lexer.h"
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Result of parsing one or more source units: the rules (`Z`) and the
+/// temporal database (`D`) over a shared vocabulary.
+struct ParsedUnit {
+  Program program;
+  Database database;
+};
+
+/// Parser for the chronolog surface syntax.
+///
+/// ```
+/// % The ski-resort scenario of the paper, Section 2.
+/// @temporal plane/2.                      % optional explicit declaration
+/// plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+/// plane(0, hunter).
+/// resort(hunter).
+/// offseason(80).
+/// ```
+///
+/// Sorts (temporal vs non-temporal, Section 3.1) are *inferred*: an integer
+/// literal or a `V+k` term is temporal and forces its predicate's first
+/// argument position to be the distinguished temporal argument; sort
+/// information propagates through shared variables until a fixpoint.
+/// Ambiguous predicates default to non-temporal; `@temporal name/arity.`
+/// pins the sort explicitly (recommended for predicates that only ever see a
+/// bare variable in temporal position).
+///
+/// The parser accumulates clauses across `AddSource` calls and resolves sorts
+/// once in `Finish`, so declarations and uses may arrive in any order.
+class Parser {
+ public:
+  /// `vocab` may carry predicates from previously finished units; their
+  /// signatures are binding for the new sources. Pass a fresh Vocabulary
+  /// (or nullptr) to start from scratch.
+  explicit Parser(std::shared_ptr<Vocabulary> vocab = nullptr);
+
+  /// Tokenizes and syntactically parses `source`, buffering its clauses.
+  Status AddSource(std::string_view source);
+
+  /// Runs sort inference over everything buffered, lowers to the typed AST
+  /// and returns the rules and database. The parser may not be reused
+  /// afterwards.
+  Result<ParsedUnit> Finish();
+
+  /// One-shot convenience: parse a complete source text.
+  static Result<ParsedUnit> Parse(std::string_view source,
+                                  std::shared_ptr<Vocabulary> vocab = nullptr);
+
+ private:
+  struct RawTerm {
+    enum class Kind { kInt, kConst, kVar, kInterval };
+    Kind kind = Kind::kConst;
+    std::string text;    // constant / variable spelling
+    uint64_t value = 0;  // integer value, or offset of `Var+offset`
+    uint64_t value_hi = 0;  // upper bound of `lo .. hi` interval facts
+    int line = 0;
+    int column = 0;
+  };
+  struct RawAtom {
+    std::string pred;
+    std::vector<RawTerm> args;
+    int line = 0;
+    int column = 0;
+  };
+  struct RawClause {
+    RawAtom head;
+    std::vector<RawAtom> body;
+    bool is_rule = false;  // written with ':-'
+  };
+
+  enum class Sort { kUnknown, kNonTemporal, kTemporal };
+
+  struct PredState {
+    uint32_t written_arity = 0;
+    Sort sort = Sort::kUnknown;
+    bool pinned = false;  // set by directive or pre-existing vocabulary
+    int line = 0;
+    int column = 0;
+  };
+
+  // --- syntactic phase ---
+  Status ParseUnitTokens(const std::vector<Token>& tokens);
+  Status ParseDirective(const std::vector<Token>& tokens, std::size_t* pos);
+  Result<RawAtom> ParseRawAtom(const std::vector<Token>& tokens,
+                               std::size_t* pos);
+  Result<RawTerm> ParseRawTerm(const std::vector<Token>& tokens,
+                               std::size_t* pos);
+
+  // --- sort inference ---
+  Status InferSorts();
+  Status NotePredicate(const RawAtom& atom);
+
+  // --- lowering ---
+  Result<ParsedUnit> Lower();
+
+  std::shared_ptr<Vocabulary> vocab_;
+  std::vector<RawClause> clauses_;
+  std::unordered_map<std::string, PredState> pred_states_;
+  // Inferred variable sorts, keyed by (clause index, variable name).
+  std::vector<std::unordered_map<std::string, Sort>> var_sorts_;
+  bool finished_ = false;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_PARSER_H_

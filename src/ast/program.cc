@@ -1,0 +1,15 @@
+#include "ast/program.h"
+
+#include <algorithm>
+
+namespace chronolog {
+
+std::vector<PredicateId> Program::DerivedPredicates() const {
+  std::vector<PredicateId> out;
+  for (const Rule& r : rules_) out.push_back(r.head.pred);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace chronolog

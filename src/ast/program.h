@@ -1,0 +1,105 @@
+#ifndef CHRONOLOG_AST_PROGRAM_H_
+#define CHRONOLOG_AST_PROGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/rule.h"
+#include "ast/vocabulary.h"
+
+namespace chronolog {
+
+/// A finite set of temporal rules — the `Z` of the paper's `Z ∧ D`.
+class Program {
+ public:
+  explicit Program(std::shared_ptr<Vocabulary> vocab)
+      : vocab_(std::move(vocab)) {}
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+
+  const Vocabulary& vocab() const { return *vocab_; }
+  const std::shared_ptr<Vocabulary>& vocab_ptr() const { return vocab_; }
+
+  /// Maximum depth `g` of a non-ground temporal term across all rules
+  /// (1 for normal programs; the look-back horizon of semi-normal programs).
+  int64_t MaxTemporalDepth() const {
+    int64_t g = 0;
+    for (const Rule& r : rules_) g = std::max(g, r.MaxTemporalDepth());
+    return g;
+  }
+
+  bool IsSemiNormal() const {
+    for (const Rule& r : rules_) {
+      if (!r.IsSemiNormal()) return false;
+    }
+    return true;
+  }
+
+  bool IsNormal() const {
+    for (const Rule& r : rules_) {
+      if (!r.IsNormal()) return false;
+    }
+    return true;
+  }
+
+  bool IsRangeRestricted() const {
+    for (const Rule& r : rules_) {
+      if (!r.IsRangeRestricted()) return false;
+    }
+    return true;
+  }
+
+  /// Predicates appearing in the head of some rule — the paper's *derived*
+  /// predicates (Section 5).
+  std::vector<PredicateId> DerivedPredicates() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::shared_ptr<Vocabulary> vocab_;
+};
+
+/// A finite temporal database — the `D` of `Z ∧ D`: ground temporal and
+/// non-temporal tuples.
+class Database {
+ public:
+  explicit Database(std::shared_ptr<Vocabulary> vocab)
+      : vocab_(std::move(vocab)) {}
+
+  void AddFact(GroundAtom fact) { facts_.push_back(std::move(fact)); }
+
+  const std::vector<GroundAtom>& facts() const { return facts_; }
+
+  const Vocabulary& vocab() const { return *vocab_; }
+  const std::shared_ptr<Vocabulary>& vocab_ptr() const { return vocab_; }
+
+  std::size_t size() const { return facts_.size(); }
+
+  /// The paper's `c`: maximum depth of a temporal term in the database
+  /// (0 for an empty or purely non-temporal database).
+  int64_t MaxTemporalDepth() const {
+    int64_t c = 0;
+    for (const GroundAtom& f : facts_) {
+      if (vocab_->predicate(f.pred).is_temporal && f.time > c) c = f.time;
+    }
+    return c;
+  }
+
+  /// The paper's database-size measure `max(n, c)` (temporal terms counted
+  /// in unary).
+  int64_t SizeMeasure() const {
+    return std::max<int64_t>(static_cast<int64_t>(facts_.size()),
+                             MaxTemporalDepth());
+  }
+
+ private:
+  std::vector<GroundAtom> facts_;
+  std::shared_ptr<Vocabulary> vocab_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_PROGRAM_H_

@@ -1,0 +1,46 @@
+#include "ast/rule.h"
+
+#include <algorithm>
+
+namespace chronolog {
+
+namespace {
+
+void CollectAtomVars(const Atom& atom, std::vector<VarId>* out) {
+  if (atom.temporal() && !atom.time->ground()) {
+    out->push_back(atom.time->var);
+  }
+  for (const NtTerm& t : atom.args) {
+    if (t.is_variable()) out->push_back(t.id);
+  }
+}
+
+void SortUnique(std::vector<VarId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+bool Rule::IsRangeRestricted() const {
+  std::vector<VarId> head_vars = HeadVars();
+  std::vector<VarId> body_vars = BodyVars();
+  return std::includes(body_vars.begin(), body_vars.end(), head_vars.begin(),
+                       head_vars.end());
+}
+
+std::vector<VarId> Rule::HeadVars() const {
+  std::vector<VarId> out;
+  CollectAtomVars(head, &out);
+  SortUnique(&out);
+  return out;
+}
+
+std::vector<VarId> Rule::BodyVars() const {
+  std::vector<VarId> out;
+  for (const Atom& a : body) CollectAtomVars(a, &out);
+  SortUnique(&out);
+  return out;
+}
+
+}  // namespace chronolog

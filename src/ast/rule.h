@@ -1,0 +1,71 @@
+#ifndef CHRONOLOG_AST_RULE_H_
+#define CHRONOLOG_AST_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace chronolog {
+
+/// A temporal Horn rule `head :- body_1, ..., body_k.` (Section 3.1).
+/// Variables are rule-local: `var_names[v]` is the source name of VarId `v`.
+/// `temporal_vars[v]` records the sort assigned by inference.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<std::string> var_names;
+  std::vector<bool> temporal_vars;
+
+  std::size_t num_vars() const { return var_names.size(); }
+
+  /// Maximum depth of any non-ground temporal term in the rule — the paper's
+  /// `g` for a single rule. 0 when the rule mentions no temporal terms.
+  int64_t MaxTemporalDepth() const {
+    int64_t g = 0;
+    auto consider = [&g](const Atom& a) {
+      if (a.temporal() && !a.time->ground() && a.time->depth() > g) {
+        g = a.time->depth();
+      }
+    };
+    consider(head);
+    for (const Atom& a : body) consider(a);
+    return g;
+  }
+
+  /// True when the rule contains at most one temporal variable and, if the
+  /// variable occurs, it occurs as the temporal argument of some literal —
+  /// the paper's *semi-normal* form. Counts variables that actually occur
+  /// (the variable-name table may retain entries no longer referenced after
+  /// a transformation).
+  bool IsSemiNormal() const {
+    VarId seen = kNoVar;
+    int count = 0;
+    auto consider = [&](const Atom& a) {
+      if (a.temporal() && !a.time->ground() && a.time->var != seen) {
+        seen = a.time->var;
+        ++count;
+      }
+    };
+    consider(head);
+    for (const Atom& a : body) consider(a);
+    return count <= 1;
+  }
+
+  /// True when the rule is semi-normal and every non-ground temporal term has
+  /// depth at most 1 — the paper's *normal* form.
+  bool IsNormal() const { return IsSemiNormal() && MaxTemporalDepth() <= 1; }
+
+  /// True when every variable of the head also appears in the body — the
+  /// *range-restricted* requirement of Section 3.3 that makes relational
+  /// specifications well-defined.
+  bool IsRangeRestricted() const;
+
+  /// VarIds (with multiplicity removed) occurring in the head / in the body.
+  std::vector<VarId> HeadVars() const;
+  std::vector<VarId> BodyVars() const;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_RULE_H_

@@ -1,0 +1,69 @@
+#ifndef CHRONOLOG_AST_TERM_H_
+#define CHRONOLOG_AST_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "util/symbol_table.h"
+
+namespace chronolog {
+
+/// Rule-local variable identifier (index into the owning rule's variable
+/// name table).
+using VarId = uint32_t;
+
+inline constexpr VarId kNoVar = static_cast<VarId>(-1);
+
+/// A non-temporal term of the paper's language (Section 3.1): either a
+/// standard database constant or a non-temporal variable. Ground non-temporal
+/// terms are exactly the constants.
+struct NtTerm {
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  Kind kind = Kind::kConstant;
+  /// SymbolId of the constant, or rule-local VarId of the variable.
+  uint32_t id = 0;
+
+  static NtTerm Constant(SymbolId c) {
+    return NtTerm{Kind::kConstant, c};
+  }
+  static NtTerm Variable(VarId v) { return NtTerm{Kind::kVariable, v}; }
+
+  bool is_constant() const { return kind == Kind::kConstant; }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  friend bool operator==(const NtTerm& a, const NtTerm& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+};
+
+/// A temporal term (Section 3.1): terms are built from the single temporal
+/// constant `0` and the postfix unary function `+1`.
+///
+/// A ground temporal term `(...((0+1)+1)...+1)` with k applications is
+/// represented by its depth `k` (the paper's own abbreviation `k`); a
+/// non-ground temporal term contains exactly one temporal variable `v` and is
+/// represented as `v + offset`.
+struct TemporalTerm {
+  VarId var = kNoVar;   // kNoVar means ground
+  int64_t offset = 0;   // depth of the term over `0` or over the variable
+
+  static TemporalTerm Ground(int64_t k) { return TemporalTerm{kNoVar, k}; }
+  static TemporalTerm Var(VarId v, int64_t offset = 0) {
+    return TemporalTerm{v, offset};
+  }
+
+  bool ground() const { return var == kNoVar; }
+
+  /// Depth of the term: `k` for ground `k`, `offset` for `v + offset`.
+  int64_t depth() const { return offset; }
+
+  friend bool operator==(const TemporalTerm& a, const TemporalTerm& b) {
+    return a.var == b.var && a.offset == b.offset;
+  }
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_TERM_H_

@@ -1,0 +1,53 @@
+#include "ast/vocabulary.h"
+
+#include <cassert>
+
+namespace chronolog {
+
+Result<PredicateId> Vocabulary::DeclarePredicate(std::string_view name,
+                                                 uint32_t written_arity) {
+  auto it = pred_ids_.find(std::string(name));
+  if (it != pred_ids_.end()) {
+    const PredicateInfo& info = preds_[it->second];
+    if (info.written_arity() != written_arity) {
+      return InvalidArgumentError(
+          "predicate '" + std::string(name) + "' used with arity " +
+          std::to_string(written_arity) + " but previously declared with arity " +
+          std::to_string(info.written_arity()));
+    }
+    return it->second;
+  }
+  PredicateId id = static_cast<PredicateId>(preds_.size());
+  PredicateInfo info;
+  info.name = std::string(name);
+  info.arity = written_arity;  // all written args non-temporal until inference
+  info.is_temporal = false;
+  preds_.push_back(std::move(info));
+  pred_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void Vocabulary::SetTemporal(PredicateId pred) {
+  assert(pred < preds_.size());
+  PredicateInfo& info = preds_[pred];
+  if (info.is_temporal) return;
+  assert(info.arity >= 1 && "temporal predicate needs a distinguished argument");
+  info.is_temporal = true;
+  info.arity -= 1;
+}
+
+PredicateId Vocabulary::FindPredicate(std::string_view name) const {
+  auto it = pred_ids_.find(std::string(name));
+  if (it == pred_ids_.end()) return kInvalidPredicate;
+  return it->second;
+}
+
+std::vector<PredicateId> Vocabulary::AllPredicates() const {
+  std::vector<PredicateId> out(preds_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<PredicateId>(i);
+  }
+  return out;
+}
+
+}  // namespace chronolog

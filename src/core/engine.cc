@@ -1,0 +1,137 @@
+#include "core/engine.h"
+
+#include "ast/printer.h"
+#include "eval/provenance.h"
+
+namespace chronolog {
+
+Result<TemporalDatabase> TemporalDatabase::FromSource(std::string_view source,
+                                                      EngineOptions options) {
+  CHRONOLOG_ASSIGN_OR_RETURN(ParsedUnit unit, Parser::Parse(source));
+  return TemporalDatabase(std::move(unit), options);
+}
+
+Result<TemporalDatabase> TemporalDatabase::FromParsedUnit(
+    ParsedUnit unit, EngineOptions options) {
+  return TemporalDatabase(std::move(unit), options);
+}
+
+const ProgramClassification& TemporalDatabase::classification() {
+  if (!classification_.has_value()) {
+    classification_ = ClassifyProgram(unit_.program);
+  }
+  return *classification_;
+}
+
+Result<InflationaryReport> TemporalDatabase::inflationary() {
+  if (!inflationary_.has_value()) {
+    CHRONOLOG_ASSIGN_OR_RETURN(
+        InflationaryReport report,
+        CheckInflationary(unit_.program, options_.inflationary_check));
+    inflationary_ = std::move(report);
+  }
+  return *inflationary_;
+}
+
+Result<const RelationalSpecification*> TemporalDatabase::specification() {
+  if (!spec_.has_value()) {
+    CHRONOLOG_ASSIGN_OR_RETURN(
+        RelationalSpecification spec,
+        BuildSpecification(unit_.program, unit_.database, options_.period,
+                           &spec_info_));
+    spec_ = std::move(spec);
+  }
+  return &*spec_;
+}
+
+Result<bool> TemporalDatabase::Ask(std::string_view ground_atom) {
+  CHRONOLOG_ASSIGN_OR_RETURN(GroundAtom atom,
+                             ParseGroundAtom(ground_atom, vocab()));
+  CHRONOLOG_ASSIGN_OR_RETURN(const RelationalSpecification* spec,
+                             specification());
+  return spec->Ask(atom);
+}
+
+Result<bool> TemporalDatabase::AskBt(std::string_view ground_atom,
+                                     std::optional<int64_t> range) {
+  CHRONOLOG_ASSIGN_OR_RETURN(GroundAtom atom,
+                             ParseGroundAtom(ground_atom, vocab()));
+  BtOptions options;
+  if (range.has_value()) {
+    options.range = *range;
+  } else {
+    // range(Z ∧ D) <= b + c + p: past b+c the states cycle with period p.
+    CHRONOLOG_ASSIGN_OR_RETURN(const RelationalSpecification* spec,
+                               specification());
+    options.range = spec->num_representatives();
+  }
+  CHRONOLOG_ASSIGN_OR_RETURN(BtResult result,
+                             RunBt(unit_.program, unit_.database, atom,
+                                   options));
+  return result.answer;
+}
+
+Result<QueryAnswer> TemporalDatabase::Query(std::string_view query_text) {
+  // `::chronolog::Query` disambiguates the AST type from this member.
+  CHRONOLOG_ASSIGN_OR_RETURN(::chronolog::Query parsed,
+                             ParseQuery(query_text, vocab()));
+  CHRONOLOG_ASSIGN_OR_RETURN(const RelationalSpecification* spec,
+                             specification());
+  return EvaluateQueryOverSpec(parsed, *spec);
+}
+
+Result<std::string> TemporalDatabase::Explain(std::string_view ground_atom) {
+  CHRONOLOG_ASSIGN_OR_RETURN(GroundAtom atom,
+                             ParseGroundAtom(ground_atom, vocab()));
+  CHRONOLOG_ASSIGN_OR_RETURN(const RelationalSpecification* spec,
+                             specification());
+  std::string prefix;
+  if (vocab().predicate(atom.pred).is_temporal) {
+    int64_t canonical = spec->Canonicalize(atom.time);
+    if (canonical != atom.time) {
+      prefix = GroundAtomToString(atom, vocab()) +
+               " rewrites (W) to its representative:\n";
+      atom.time = canonical;
+    }
+  }
+  // Materialise with provenance over a horizon that covers every proof of
+  // atoms within the representative segment (same margin as algorithm BT:
+  // representatives act as both h and range here).
+  FixpointOptions options;
+  options.max_time = 2 * spec->num_representatives();
+  CHRONOLOG_ASSIGN_OR_RETURN(
+      ProofForest forest,
+      MaterializeWithProvenance(unit_.program, unit_.database, options));
+  CHRONOLOG_ASSIGN_OR_RETURN(std::string proof,
+                             forest.Explain(atom, unit_.program));
+  return prefix + proof;
+}
+
+std::string TemporalDatabase::Describe() {
+  std::string out;
+  out += "rules:            " + std::to_string(program().rules().size()) + "\n";
+  out += "facts:            " + std::to_string(database().size()) + "\n";
+  out += "database c:       " + std::to_string(database().MaxTemporalDepth()) +
+         "\n";
+  out += classification().ToString();
+  Result<InflationaryReport> inflat = inflationary();
+  out += "inflationary:     ";
+  out += inflat.ok() ? inflat->ToString(vocab())
+                     : std::string("(check failed: ") +
+                           inflat.status().ToString() + ")";
+  out += "\n";
+  Result<const RelationalSpecification*> spec = specification();
+  if (spec.ok()) {
+    out += "period:           (b=" + std::to_string((*spec)->period().b) +
+           ", p=" + std::to_string((*spec)->period().p) + ")";
+    out += spec_info_.exact_period ? "  [exact]\n" : "  [verified-doubling]\n";
+    out += "representatives:  " + std::to_string((*spec)->num_representatives()) +
+           "\n";
+    out += "primary db size:  " + std::to_string((*spec)->SizeInFacts()) + "\n";
+  } else {
+    out += "specification:    (failed: " + spec.status().ToString() + ")\n";
+  }
+  return out;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,111 @@
+#ifndef CHRONOLOG_CORE_ENGINE_H_
+#define CHRONOLOG_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/classify.h"
+#include "analysis/inflationary.h"
+#include "ast/parser.h"
+#include "ast/program.h"
+#include "eval/bt.h"
+#include "query/query_eval.h"
+#include "query/query_parser.h"
+#include "spec/specification.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Engine-level options.
+struct EngineOptions {
+  /// Budgets for period detection / specification construction.
+  PeriodDetectionOptions period;
+  /// Budgets for the Theorem 5.2 inflationary decision procedure.
+  PeriodDetectionOptions inflationary_check;
+};
+
+/// The top-level facade of chronolog: one temporal deductive database
+/// `Z ∧ D` with classification, relational-specification construction and
+/// query answering. Typical use:
+///
+///   auto tdd = TemporalDatabase::FromSource(R"(
+///     even(0).
+///     even(T+2) :- even(T).
+///   )");
+///   tdd->Ask("even(1000000)");            // yes, O(1) after spec build
+///   tdd->Query("exists T (even(T+1))");   // first-order queries
+///
+/// All heavyweight artefacts (classification, inflationary verdict,
+/// relational specification) are built lazily and cached.
+class TemporalDatabase {
+ public:
+  /// Parses `source` (rules + facts + directives) and wraps it.
+  static Result<TemporalDatabase> FromSource(std::string_view source,
+                                             EngineOptions options = {});
+
+  /// Wraps an already-parsed unit (e.g. from a workload generator or a
+  /// transformation such as TemporalizeDatalog).
+  static Result<TemporalDatabase> FromParsedUnit(ParsedUnit unit,
+                                                 EngineOptions options = {});
+
+  TemporalDatabase(TemporalDatabase&&) = default;
+  TemporalDatabase& operator=(TemporalDatabase&&) = default;
+
+  const Program& program() const { return unit_.program; }
+  const Database& database() const { return unit_.database; }
+  const Vocabulary& vocab() const { return unit_.program.vocab(); }
+
+  /// Syntactic classification (computed once, cached).
+  const ProgramClassification& classification();
+
+  /// Theorem 5.2 inflationary verdict (computed once, cached).
+  Result<InflationaryReport> inflationary();
+
+  /// The relational specification `(T, B, W)` of the least model (built
+  /// once, cached). May fail with kResourceExhausted when the period
+  /// exceeds the configured horizon.
+  Result<const RelationalSpecification*> specification();
+
+  /// Yes-no query for a ground atom, answered through the relational
+  /// specification: O(parse + rewrite + lookup) per call after the first.
+  Result<bool> Ask(std::string_view ground_atom);
+
+  /// Yes-no query answered by algorithm BT (Figure 1) from scratch; `range`
+  /// defaults to `b + c + p` obtained from the specification. Mostly useful
+  /// for benchmarking BT itself — `Ask` is the fast path.
+  Result<bool> AskBt(std::string_view ground_atom,
+                     std::optional<int64_t> range = std::nullopt);
+
+  /// First-order temporal query (Proposition 3.1 evaluation over the
+  /// specification).
+  Result<QueryAnswer> Query(std::string_view query);
+
+  /// Renders a ground hyperresolution proof of `ground_atom` (the
+  /// derivation object behind Theorem 4.1's correctness argument). Atoms
+  /// beyond the representative segment are first rewritten to their
+  /// canonical form; the returned text notes the rewrite. Re-materialises
+  /// the model with provenance — O(model) per call, meant for debugging
+  /// and auditing rather than hot paths.
+  Result<std::string> Explain(std::string_view ground_atom);
+
+  /// Multi-line human-readable summary: classification, period,
+  /// specification sizes.
+  std::string Describe();
+
+ private:
+  TemporalDatabase(ParsedUnit unit, EngineOptions options)
+      : unit_(std::move(unit)), options_(options) {}
+
+  ParsedUnit unit_;
+  EngineOptions options_;
+  std::optional<ProgramClassification> classification_;
+  std::optional<InflationaryReport> inflationary_;
+  std::optional<RelationalSpecification> spec_;
+  SpecificationBuildInfo spec_info_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_CORE_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "eval/fixpoint.h"
+
+#include <vector>
+
+namespace chronolog {
+
+namespace {
+
+Status TooLarge(uint64_t max_facts) {
+  return ResourceExhaustedError(
+      "fixpoint exceeded max_facts = " + std::to_string(max_facts) +
+      "; raise FixpointOptions::max_facts if the workload is legitimate");
+}
+
+/// True when the fact survives truncation to `[0...max_time]`.
+bool WithinBound(const Vocabulary& vocab, const GroundAtom& fact,
+                 int64_t max_time) {
+  return !vocab.predicate(fact.pred).is_temporal || fact.time <= max_time;
+}
+
+}  // namespace
+
+Result<Interpretation> ApplyTp(const Program& program, const Database& db,
+                               const Interpretation& interp,
+                               const FixpointOptions& options,
+                               EvalStats* stats) {
+  Interpretation out(program.vocab_ptr());
+  const Vocabulary& vocab = program.vocab();
+  bool overflow = false;
+  for (const GroundAtom& f : db.facts()) {
+    if (WithinBound(vocab, f, options.max_time)) out.Insert(f);
+  }
+  for (const Rule& rule : program.rules()) {
+    RuleEvaluator evaluator(rule, vocab, options.use_index);
+    evaluator.Evaluate(interp, /*delta=*/nullptr, /*delta_pos=*/-1,
+                       /*time_binding=*/std::nullopt, stats,
+                       [&](GroundAtom&& fact) {
+                         if (!WithinBound(vocab, fact, options.max_time)) {
+                           return;
+                         }
+                         if (out.Insert(std::move(fact)) && stats != nullptr) {
+                           ++stats->inserted;
+                         }
+                         if (out.size() > options.max_facts) overflow = true;
+                       });
+    if (overflow) return TooLarge(options.max_facts);
+  }
+  return out;
+}
+
+Result<Interpretation> NaiveFixpoint(const Program& program,
+                                     const Database& db,
+                                     const FixpointOptions& options,
+                                     EvalStats* stats) {
+  Interpretation current(program.vocab_ptr());
+  current.InsertDatabase(db);
+  current.TruncateInPlace(options.max_time);
+  while (true) {
+    if (stats != nullptr) ++stats->iterations;
+    CHRONOLOG_ASSIGN_OR_RETURN(Interpretation next,
+                               ApplyTp(program, db, current, options, stats));
+    if (next.SegmentEquals(current, options.max_time,
+                           /*and_non_temporal=*/true)) {
+      return next;
+    }
+    current = std::move(next);
+  }
+}
+
+Result<Interpretation> SemiNaiveFixpoint(const Program& program,
+                                         const Database& db,
+                                         const FixpointOptions& options,
+                                         EvalStats* stats) {
+  const Vocabulary& vocab = program.vocab();
+  Interpretation full(program.vocab_ptr());
+  Interpretation delta(program.vocab_ptr());
+  for (const GroundAtom& f : db.facts()) {
+    if (!WithinBound(vocab, f, options.max_time)) continue;
+    if (full.Insert(f)) delta.Insert(f);
+  }
+
+  std::vector<RuleEvaluator> evaluators;
+  evaluators.reserve(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    evaluators.emplace_back(rule, vocab, options.use_index);
+  }
+
+  while (!delta.empty()) {
+    if (stats != nullptr) ++stats->iterations;
+    // Derivations are buffered into `next_delta` and merged into `full`
+    // after the round: inserting into `full` mid-evaluation would invalidate
+    // the tuple-set iterators the rule evaluator is walking.
+    Interpretation next_delta(program.vocab_ptr());
+    bool overflow = false;
+    for (std::size_t ri = 0; ri < program.rules().size(); ++ri) {
+      const Rule& rule = program.rules()[ri];
+      for (int pos = 0; pos < static_cast<int>(rule.body.size()); ++pos) {
+        evaluators[ri].Evaluate(
+            full, &delta, pos, /*time_binding=*/std::nullopt, stats,
+            [&](GroundAtom&& fact) {
+              if (!WithinBound(vocab, fact, options.max_time)) return;
+              if (full.Contains(fact)) return;
+              next_delta.Insert(std::move(fact));
+              if (full.size() + next_delta.size() > options.max_facts) {
+                overflow = true;
+              }
+            });
+        if (overflow) return TooLarge(options.max_facts);
+      }
+    }
+    next_delta.ForEach([&](PredicateId pred, int64_t time, const Tuple& args) {
+      if (full.Insert(pred, time, args) && stats != nullptr) {
+        ++stats->inserted;
+      }
+    });
+    delta = std::move(next_delta);
+  }
+  return full;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,53 @@
+#ifndef CHRONOLOG_EVAL_FIXPOINT_H_
+#define CHRONOLOG_EVAL_FIXPOINT_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "ast/program.h"
+#include "eval/rule_eval.h"
+#include "storage/interpretation.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Limits for bottom-up evaluation. `max_time` is the truncation bound `m` of
+/// algorithm BT: derived temporal facts beyond it are discarded, which makes
+/// every fixpoint below finite. `max_facts` guards against workloads that
+/// are legitimately too large (kResourceExhausted).
+struct FixpointOptions {
+  int64_t max_time = 0;
+  uint64_t max_facts = 50'000'000;
+  /// Hash-join via lazily built column indexes; disable for the
+  /// nested-loop baseline (experiment E8 ablation).
+  bool use_index = true;
+};
+
+/// One application of the immediate-consequence operator:
+/// `T_{Z∧D}(I) = {head θ : rule ∈ Z, body θ ⊆ I} ∪ D`, truncated to
+/// `[0...max_time]` plus the non-temporal part (Section 3.2).
+Result<Interpretation> ApplyTp(const Program& program, const Database& db,
+                               const Interpretation& interp,
+                               const FixpointOptions& options,
+                               EvalStats* stats = nullptr);
+
+/// Naive bottom-up least fixpoint of the truncated operator: iterates
+/// `L := T_{Z∧D}(L)(0...m) ∪ nt` from `D` until stable. This is precisely
+/// the loop of algorithm BT (Figure 1) for a caller-supplied bound `m`; see
+/// bt.h for the complete algorithm including the choice of `m`.
+Result<Interpretation> NaiveFixpoint(const Program& program,
+                                     const Database& db,
+                                     const FixpointOptions& options,
+                                     EvalStats* stats = nullptr);
+
+/// Semi-naive variant: each round matches one body atom against the facts
+/// newly derived in the previous round. Produces the same fixpoint as
+/// NaiveFixpoint while avoiding re-derivation (benchmarked as experiment E8).
+Result<Interpretation> SemiNaiveFixpoint(const Program& program,
+                                         const Database& db,
+                                         const FixpointOptions& options,
+                                         EvalStats* stats = nullptr);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_EVAL_FIXPOINT_H_

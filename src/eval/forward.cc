@@ -1,0 +1,189 @@
+#include "eval/forward.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/printer.h"
+
+namespace chronolog {
+
+namespace {
+
+/// Temporal offset of an atom's time term; requires a non-ground term.
+int64_t VarOffset(const Atom& atom) { return atom.time->offset; }
+
+}  // namespace
+
+ProgressivityReport CheckProgressive(const Program& program) {
+  const Vocabulary& vocab = program.vocab();
+  for (const Rule& rule : program.rules()) {
+    if (!rule.IsSemiNormal()) {
+      return {false, "rule '" + RuleToString(rule, vocab) +
+                         "' has more than one temporal variable"};
+    }
+    auto has_ground_time = [](const Atom& a) {
+      return a.temporal() && a.time->ground();
+    };
+    if (has_ground_time(rule.head)) {
+      return {false, "rule '" + RuleToString(rule, vocab) +
+                         "' has a ground temporal term in the head"};
+    }
+    for (const Atom& a : rule.body) {
+      if (has_ground_time(a)) {
+        return {false, "rule '" + RuleToString(rule, vocab) +
+                           "' has a ground temporal term in the body"};
+      }
+    }
+    if (rule.head.temporal()) {
+      int64_t a = VarOffset(rule.head);
+      for (const Atom& atom : rule.body) {
+        if (atom.temporal() && VarOffset(atom) > a) {
+          return {false, "rule '" + RuleToString(rule, vocab) +
+                             "' consumes facts from the future of its head"};
+        }
+      }
+    } else {
+      for (const Atom& atom : rule.body) {
+        if (atom.temporal()) {
+          return {false, "rule '" + RuleToString(rule, vocab) +
+                             "' derives a non-temporal fact from temporal "
+                             "ones"};
+        }
+      }
+    }
+  }
+  return {true, ""};
+}
+
+Result<ForwardResult> ForwardSimulate(const Program& program,
+                                      const Database& db,
+                                      const ForwardOptions& options) {
+  ProgressivityReport report = CheckProgressive(program);
+  if (!report.progressive) {
+    return FailedPreconditionError("ForwardSimulate: " + report.reason);
+  }
+
+  const Vocabulary& vocab = program.vocab();
+  const int64_t c = db.MaxTemporalDepth();
+  const int64_t g = std::max<int64_t>(1, program.MaxTemporalDepth());
+
+  ForwardResult result{Interpretation(program.vocab_ptr()), Period{}, c, 0,
+                       {}, {}};
+  Interpretation& model = result.model;
+  model.InsertDatabase(db);
+
+  // Split rules: non-temporal heads close the non-temporal part once
+  // (their bodies are non-temporal by progressivity); temporal-head rules
+  // drive the per-timestep simulation.
+  std::vector<const Rule*> nt_rules;
+  std::vector<const Rule*> t_rules;
+  for (const Rule& rule : program.rules()) {
+    (rule.head.temporal() ? t_rules : nt_rules).push_back(&rule);
+  }
+
+  // Phase 0: non-temporal closure (plain Datalog fixpoint; buffered inserts
+  // keep the evaluator's iterators valid).
+  {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<GroundAtom> buffer;
+      for (const Rule* rule : nt_rules) {
+        RuleEvaluator evaluator(*rule, vocab);
+        evaluator.Evaluate(model, nullptr, -1, std::nullopt, &result.stats,
+                           [&](GroundAtom&& fact) {
+                             if (!model.Contains(fact)) {
+                               buffer.push_back(std::move(fact));
+                             }
+                           });
+      }
+      for (GroundAtom& fact : buffer) {
+        if (model.Insert(std::move(fact))) {
+          ++result.stats.inserted;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Temporal-head rule evaluators, with the head's temporal variable and
+  // offset precomputed.
+  struct TemporalRule {
+    const Rule* rule;
+    RuleEvaluator evaluator;
+    VarId time_var;
+    int64_t head_offset;
+  };
+  std::vector<TemporalRule> temporal_rules;
+  temporal_rules.reserve(t_rules.size());
+  for (const Rule* rule : t_rules) {
+    temporal_rules.push_back(TemporalRule{rule, RuleEvaluator(*rule, vocab),
+                                          rule->head.time->var,
+                                          rule->head.time->offset});
+  }
+
+  // Window hash: start time of each previously seen window of g states.
+  std::unordered_map<StateWindow, int64_t, StateWindowHash> seen_windows;
+
+  auto too_large = [&]() {
+    return ResourceExhaustedError(
+        "ForwardSimulate exceeded its budget (max_steps = " +
+        std::to_string(options.max_steps) +
+        "); the period of this TDD may be exponentially large (Theorem 3.1)");
+  };
+
+  for (int64_t t = 0;; ++t) {
+    if (t > options.max_steps) return too_large();
+    // Within-timestep fixpoint: all rules whose head lands on `t`.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<GroundAtom> buffer;
+      for (TemporalRule& tr : temporal_rules) {
+        int64_t v = t - tr.head_offset;
+        if (v < 0) continue;
+        tr.evaluator.Evaluate(model, nullptr, -1,
+                              std::make_pair(tr.time_var, v), &result.stats,
+                              [&](GroundAtom&& fact) {
+                                if (!model.Contains(fact)) {
+                                  buffer.push_back(std::move(fact));
+                                }
+                              });
+      }
+      for (GroundAtom& fact : buffer) {
+        if (model.Insert(std::move(fact))) {
+          ++result.stats.inserted;
+          changed = true;
+        }
+      }
+      if (model.size() > options.max_facts) return too_large();
+    }
+
+    result.states.push_back(State::FromInterpretation(model, t));
+    result.horizon = t;
+
+    // Period detection: windows of g consecutive states starting at
+    // s >= c+1 evolve deterministically (no database injection past c).
+    int64_t s = t - g + 1;  // start of the newest complete window
+    if (s < c + 1) continue;
+    StateWindow window = StateWindow::FromStates(
+        result.states, static_cast<std::size_t>(s),
+        static_cast<std::size_t>(g));
+    auto [it, inserted] = seen_windows.try_emplace(std::move(window), s);
+    if (inserted) continue;
+
+    // First repeat: cycle entry s1, exact cycle length p.
+    int64_t s1 = it->second;
+    int64_t p = s - s1;
+    // The periodicity may extend below the detection threshold; walk k down
+    // to the minimal start for which M[k] = M[k+p] still holds.
+    int64_t k = s1;
+    while (k > 0 && result.states[k - 1] == result.states[k - 1 + p]) --k;
+    result.period.b = std::max<int64_t>(0, k - c);
+    result.period.p = p;
+    return result;
+  }
+}
+
+}  // namespace chronolog

@@ -1,0 +1,224 @@
+#include "eval/rule_eval.h"
+
+#include <cassert>
+#include <vector>
+
+namespace chronolog {
+
+namespace {
+
+/// Mutable binding environment for one rule evaluation. VarIds index both
+/// arrays; the rule's sort table decides which one is live for a variable.
+struct Bindings {
+  std::vector<int64_t> tval;
+  std::vector<SymbolId> nval;
+  std::vector<char> bound;
+
+  explicit Bindings(std::size_t n) : tval(n, 0), nval(n, 0), bound(n, 0) {}
+};
+
+/// Undo log of variables bound while matching one atom.
+using Trail = std::vector<VarId>;
+
+/// Matches the non-temporal argument vector of `atom` against `tuple`,
+/// binding fresh variables (recorded on `trail`). Returns false on mismatch
+/// (trail entries added so far must still be undone by the caller).
+bool MatchArgs(const Atom& atom, const Tuple& tuple, Bindings* b,
+               Trail* trail) {
+  assert(atom.args.size() == tuple.size());
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    const NtTerm& t = atom.args[i];
+    if (t.is_constant()) {
+      if (t.id != tuple[i]) return false;
+      continue;
+    }
+    VarId v = t.id;
+    if (b->bound[v]) {
+      if (b->nval[v] != tuple[i]) return false;
+    } else {
+      b->bound[v] = 1;
+      b->nval[v] = tuple[i];
+      trail->push_back(v);
+    }
+  }
+  return true;
+}
+
+void Unwind(const Trail& trail, std::size_t from, Bindings* b) {
+  for (std::size_t i = from; i < trail.size(); ++i) b->bound[trail[i]] = 0;
+}
+
+}  // namespace
+
+void RuleEvaluator::Evaluate(
+    const Interpretation& full, const Interpretation* delta, int delta_pos,
+    std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,
+    const std::function<void(GroundAtom&&)>& emit) const {
+  EvaluateImpl(full, delta, delta_pos, time_binding, stats, &emit, nullptr);
+}
+
+void RuleEvaluator::EvaluateWithBody(
+    const Interpretation& full, const Interpretation* delta, int delta_pos,
+    std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,
+    const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>& emit)
+    const {
+  EvaluateImpl(full, delta, delta_pos, time_binding, stats, nullptr, &emit);
+}
+
+void RuleEvaluator::EvaluateImpl(
+    const Interpretation& full, const Interpretation* delta, int delta_pos,
+    std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,
+    const std::function<void(GroundAtom&&)>* emit,
+    const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>*
+        emit_with_body) const {
+  Bindings bindings(rule_.num_vars());
+  if (time_binding.has_value()) {
+    bindings.bound[time_binding->first] = 1;
+    bindings.tval[time_binding->first] = time_binding->second;
+  }
+
+  Trail trail;
+
+  // Ground-instantiates `atom` under the current bindings (complete for
+  // the head by range-restriction; complete for body atoms at emit time).
+  auto instantiate = [&](const Atom& atom) {
+    GroundAtom fact;
+    fact.pred = atom.pred;
+    if (atom.temporal()) {
+      const TemporalTerm& tt = *atom.time;
+      if (tt.ground()) {
+        fact.time = tt.offset;
+      } else {
+        assert(bindings.bound[tt.var]);
+        fact.time = bindings.tval[tt.var] + tt.offset;
+      }
+    }
+    fact.args.reserve(atom.args.size());
+    for (const NtTerm& t : atom.args) {
+      if (t.is_constant()) {
+        fact.args.push_back(t.id);
+      } else {
+        assert(bindings.bound[t.id]);
+        fact.args.push_back(bindings.nval[t.id]);
+      }
+    }
+    return fact;
+  };
+
+  auto emit_head = [&]() {
+    if (stats != nullptr) ++stats->derived;
+    if (emit_with_body != nullptr) {
+      std::vector<GroundAtom> body;
+      body.reserve(rule_.body.size());
+      for (const Atom& atom : rule_.body) body.push_back(instantiate(atom));
+      (*emit_with_body)(instantiate(rule_.head), std::move(body));
+    } else {
+      (*emit)(instantiate(rule_.head));
+    }
+  };
+
+  // Join order: source order, except that the delta-restricted atom (when
+  // any) is matched first — it is the most selective and usually binds the
+  // temporal variable, so the remaining atoms probe single snapshots
+  // instead of scanning whole timelines.
+  std::vector<std::size_t> order(rule_.body.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (delta != nullptr && delta_pos >= 0 &&
+      delta_pos < static_cast<int>(order.size())) {
+    std::swap(order[0], order[static_cast<std::size_t>(delta_pos)]);
+  }
+
+  std::function<void(std::size_t)> match = [&](std::size_t step) {
+    if (step == rule_.body.size()) {
+      emit_head();
+      return;
+    }
+    const std::size_t pos = order[step];
+    const Atom& atom = rule_.body[pos];
+    const Interpretation& source =
+        (delta != nullptr && static_cast<int>(pos) == delta_pos) ? *delta
+                                                                 : full;
+
+    auto try_one = [&](const Tuple& tuple) {
+      if (stats != nullptr) ++stats->match_steps;
+      std::size_t mark = trail.size();
+      if (MatchArgs(atom, tuple, &bindings, &trail)) {
+        match(step + 1);
+      }
+      Unwind(trail, mark, &bindings);
+      trail.resize(mark);
+    };
+
+    auto try_tuples = [&](const TupleSet& tuples) {
+      for (const Tuple& tuple : tuples) try_one(tuple);
+    };
+
+    auto try_bucket = [&](const std::vector<const Tuple*>* bucket) {
+      if (bucket == nullptr) return;
+      for (const Tuple* tuple : *bucket) try_one(*tuple);
+    };
+
+    // Hash-join selector: the first argument position with a known value
+    // (constant or already-bound variable), probing the column index.
+    auto selective_col =
+        [&]() -> std::optional<std::pair<uint32_t, SymbolId>> {
+      if (!use_index_) return std::nullopt;
+      for (std::size_t i = 0; i < atom.args.size(); ++i) {
+        const NtTerm& t = atom.args[i];
+        if (t.is_constant()) {
+          return std::make_pair(static_cast<uint32_t>(i), t.id);
+        }
+        if (bindings.bound[t.id]) {
+          return std::make_pair(static_cast<uint32_t>(i),
+                                bindings.nval[t.id]);
+        }
+      }
+      return std::nullopt;
+    };
+
+    if (!atom.temporal()) {
+      if (auto sel = selective_col()) {
+        try_bucket(source.ProbeNonTemporal(atom.pred, sel->first,
+                                           sel->second));
+      } else {
+        try_tuples(source.NonTemporal(atom.pred));
+      }
+      return;
+    }
+
+    const TemporalTerm& tt = *atom.time;
+    auto try_snapshot = [&](int64_t time) {
+      if (auto sel = selective_col()) {
+        try_bucket(
+            source.ProbeSnapshot(atom.pred, time, sel->first, sel->second));
+      } else {
+        try_tuples(source.Snapshot(atom.pred, time));
+      }
+    };
+
+    if (tt.ground()) {
+      try_snapshot(tt.offset);
+      return;
+    }
+    VarId v = tt.var;
+    if (bindings.bound[v]) {
+      try_snapshot(bindings.tval[v] + tt.offset);
+      return;
+    }
+    // Unbound temporal variable: enumerate the predicate's timeline; the
+    // variable's value is `time - offset` and must be a valid (>= 0) ground
+    // temporal term.
+    for (const auto& [time, tuples] : source.Timeline(atom.pred)) {
+      int64_t value = time - tt.offset;
+      if (value < 0) continue;
+      bindings.bound[v] = 1;
+      bindings.tval[v] = value;
+      try_snapshot(time);
+      bindings.bound[v] = 0;
+    }
+  };
+
+  match(0);
+}
+
+}  // namespace chronolog

@@ -1,0 +1,85 @@
+#ifndef CHRONOLOG_EVAL_RULE_EVAL_H_
+#define CHRONOLOG_EVAL_RULE_EVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "ast/program.h"
+#include "storage/interpretation.h"
+
+namespace chronolog {
+
+/// Counters accumulated by the evaluators. `derived` counts every emitted
+/// head instantiation (before deduplication); `inserted` counts facts that
+/// were new; `match_steps` counts tuple-match attempts (a machine-independent
+/// work measure used by the benchmark harness).
+struct EvalStats {
+  uint64_t derived = 0;
+  uint64_t inserted = 0;
+  uint64_t match_steps = 0;
+  uint64_t iterations = 0;
+
+  void Add(const EvalStats& other) {
+    derived += other.derived;
+    inserted += other.inserted;
+    match_steps += other.match_steps;
+    iterations += other.iterations;
+  }
+};
+
+/// Evaluates one temporal Horn rule against an interpretation: enumerates
+/// every ground substitution `θ` with `body θ ⊆ I` and emits `head θ`
+/// (the single-rule slice of the paper's `T_{Z∧D}` operator, Section 3.2).
+///
+/// Semi-naive evaluation restricts one body position to a delta
+/// interpretation; a pre-bound temporal variable supports the per-timestep
+/// forward simulator.
+class RuleEvaluator {
+ public:
+  /// `rule` and `vocab` must outlive the evaluator. With `use_index` the
+  /// evaluator probes the interpretation's lazily built column indexes when
+  /// a body atom has a bound argument (hash join); without it every match
+  /// scans the tuple set (the nested-loop baseline of experiment E8).
+  RuleEvaluator(const Rule& rule, const Vocabulary& vocab,
+                bool use_index = true)
+      : rule_(rule), vocab_(vocab), use_index_(use_index) {}
+
+  /// Enumerates instantiations. When `delta` is non-null, the body atom at
+  /// `delta_pos` is matched against `delta` instead of `full` (all other
+  /// atoms against `full`). When `time_binding` is set, the temporal
+  /// variable `time_binding->first` is pre-bound to `time_binding->second`.
+  /// Emitted ground atoms may repeat; the caller deduplicates on insert.
+  void Evaluate(
+      const Interpretation& full, const Interpretation* delta, int delta_pos,
+      std::optional<std::pair<VarId, int64_t>> time_binding,
+      EvalStats* stats,
+      const std::function<void(GroundAtom&&)>& emit) const;
+
+  /// Like Evaluate, but also hands the instantiated ground body atoms (in
+  /// source order) to the callback — the premises of the hyperresolution
+  /// step, used by the provenance evaluator.
+  void EvaluateWithBody(
+      const Interpretation& full, const Interpretation* delta, int delta_pos,
+      std::optional<std::pair<VarId, int64_t>> time_binding,
+      EvalStats* stats,
+      const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>&
+          emit) const;
+
+ private:
+  void EvaluateImpl(
+      const Interpretation& full, const Interpretation* delta, int delta_pos,
+      std::optional<std::pair<VarId, int64_t>> time_binding,
+      EvalStats* stats, const std::function<void(GroundAtom&&)>* emit,
+      const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>*
+          emit_with_body) const;
+
+  const Rule& rule_;
+  const Vocabulary& vocab_;
+  bool use_index_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_EVAL_RULE_EVAL_H_

@@ -1,0 +1,32 @@
+#ifndef CHRONOLOG_QUERY_ANSWERS_H_
+#define CHRONOLOG_QUERY_ANSWERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_eval.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Unfolds the finite representation of an open-query answer into concrete
+/// substitutions (Section 3.3: each representative substitution, together
+/// with the rewrite rules, "represents possibly infinitely many original
+/// answer substitutions").
+///
+/// By Proposition 3.1, `M |= Q(y...)` iff `B |= Q(r(y)...)`: each temporal
+/// column unfolds *independently*. A temporal value below the rewrite
+/// threshold `lhs - p` stands only for itself (aperiodic prefix); a value
+/// in the cyclic range `[lhs - p, lhs)` stands for `t + k*p` for every
+/// `k >= 0`. The unfolding of a row is the cartesian product of its
+/// columns' expansions.
+///
+/// `max_time` bounds the unfolding (the full answer set may be infinite).
+/// Rows are returned deduplicated and lexicographically sorted. For purely
+/// non-temporal rows the unfolding is the row itself.
+Result<std::vector<std::vector<QueryValue>>> UnfoldAnswers(
+    const QueryAnswer& answer, int64_t max_time);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_QUERY_ANSWERS_H_

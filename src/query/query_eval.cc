@@ -1,0 +1,236 @@
+#include "query/query_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace chronolog {
+
+namespace {
+
+/// Shared closed-formula evaluator, parameterised by the atom oracle and the
+/// two quantification domains.
+class Evaluator {
+ public:
+  Evaluator(const Query& query,
+            std::function<bool(const GroundAtom&)> oracle,
+            std::vector<int64_t> temporal_domain,
+            std::vector<SymbolId> constant_domain, bool allow_equality)
+      : query_(query),
+        oracle_(std::move(oracle)),
+        temporal_domain_(std::move(temporal_domain)),
+        constant_domain_(std::move(constant_domain)),
+        allow_equality_(allow_equality),
+        values_(query.var_names.size()) {}
+
+  const Status& error() const { return error_; }
+
+  /// Binds a free variable before evaluation (row enumeration).
+  void Bind(VarId v, QueryValue value) { values_[v] = value; }
+
+  bool Eval(const QueryNode& node) {
+    switch (node.kind) {
+      case QueryKind::kAtom: {
+        GroundAtom atom;
+        atom.pred = node.atom.pred;
+        if (node.atom.temporal()) {
+          const TemporalTerm& tt = *node.atom.time;
+          atom.time = tt.ground() ? tt.offset
+                                  : values_[tt.var].time + tt.offset;
+        }
+        atom.args.reserve(node.atom.args.size());
+        for (const NtTerm& t : node.atom.args) {
+          atom.args.push_back(t.is_constant() ? t.id
+                                              : values_[t.id].constant);
+        }
+        return oracle_(atom);
+      }
+      case QueryKind::kEqual: {
+        if (!allow_equality_) {
+          if (error_.ok()) {
+            error_ = UnimplementedError(
+                "equality is not invariant w.r.t. relational specifications "
+                "(paper, Section 8): distinct ground terms can share a "
+                "representative; evaluate equality queries against a "
+                "materialised model instead");
+          }
+          return false;
+        }
+        return SideValue(node.eq_lhs) == SideValue(node.eq_rhs);
+      }
+      case QueryKind::kNot:
+        return !Eval(*node.left);  // Closed World Assumption
+      case QueryKind::kAnd:
+        return Eval(*node.left) && Eval(*node.right);
+      case QueryKind::kOr:
+        return Eval(*node.left) || Eval(*node.right);
+      case QueryKind::kExists:
+      case QueryKind::kForall: {
+        const bool exists = node.kind == QueryKind::kExists;
+        if (query_.temporal_vars[node.var]) {
+          for (int64_t t : temporal_domain_) {
+            values_[node.var] = QueryValue{true, t, 0};
+            if (Eval(*node.left) == exists) return exists;
+          }
+        } else {
+          for (SymbolId c : constant_domain_) {
+            values_[node.var] = QueryValue{false, 0, c};
+            if (Eval(*node.left) == exists) return exists;
+          }
+        }
+        return !exists;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<int64_t>& temporal_domain() const {
+    return temporal_domain_;
+  }
+  const std::vector<SymbolId>& constant_domain() const {
+    return constant_domain_;
+  }
+
+ private:
+  QueryValue SideValue(const EqualitySide& side) {
+    if (side.temporal) {
+      int64_t t = side.time.ground()
+                      ? side.time.offset
+                      : values_[side.time.var].time + side.time.offset;
+      return QueryValue{true, t, 0};
+    }
+    if (side.nt.is_constant()) return QueryValue{false, 0, side.nt.id};
+    return values_[side.nt.id];
+  }
+
+  const Query& query_;
+  std::function<bool(const GroundAtom&)> oracle_;
+  std::vector<int64_t> temporal_domain_;
+  std::vector<SymbolId> constant_domain_;
+  bool allow_equality_;
+  std::vector<QueryValue> values_;
+  Status error_;
+};
+
+/// Active constants: every constant in the interpretation plus every
+/// constant mentioned by the query.
+std::vector<SymbolId> ActiveConstants(const Query& query,
+                                      const Interpretation& interp) {
+  std::set<SymbolId> constants;
+  interp.ForEach([&](PredicateId, int64_t, const Tuple& args) {
+    for (SymbolId c : args) constants.insert(c);
+  });
+  std::function<void(const QueryNode&)> walk = [&](const QueryNode& node) {
+    if (node.kind == QueryKind::kAtom) {
+      for (const NtTerm& t : node.atom.args) {
+        if (t.is_constant()) constants.insert(t.id);
+      }
+      return;
+    }
+    if (node.left != nullptr) walk(*node.left);
+    if (node.right != nullptr) walk(*node.right);
+  };
+  walk(*query.root);
+  return {constants.begin(), constants.end()};
+}
+
+Result<QueryAnswer> Run(const Query& query, Evaluator evaluator,
+                        int64_t rewrite_lhs, int64_t rewrite_p) {
+  QueryAnswer answer;
+  answer.rewrite_lhs = rewrite_lhs;
+  answer.rewrite_p = rewrite_p;
+  for (VarId v : query.free_vars) {
+    answer.free_var_names.push_back(query.var_names[v]);
+    answer.free_var_temporal.push_back(query.temporal_vars[v]);
+  }
+  if (query.closed()) {
+    answer.boolean = evaluator.Eval(*query.root);
+    if (!evaluator.error().ok()) return evaluator.error();
+    return answer;
+  }
+
+  // Enumerate assignments of the free variables (product of the domains).
+  std::vector<QueryValue> row(query.free_vars.size());
+  std::function<void(std::size_t)> enumerate = [&](std::size_t i) {
+    if (i == query.free_vars.size()) {
+      if (evaluator.Eval(*query.root)) answer.rows.push_back(row);
+      return;
+    }
+    VarId v = query.free_vars[i];
+    if (query.temporal_vars[v]) {
+      for (int64_t t : evaluator.temporal_domain()) {
+        row[i] = QueryValue{true, t, 0};
+        evaluator.Bind(v, row[i]);
+        enumerate(i + 1);
+      }
+    } else {
+      for (SymbolId c : evaluator.constant_domain()) {
+        row[i] = QueryValue{false, 0, c};
+        evaluator.Bind(v, row[i]);
+        enumerate(i + 1);
+      }
+    }
+  };
+  enumerate(0);
+  if (!evaluator.error().ok()) return evaluator.error();
+  answer.boolean = !answer.rows.empty();
+  return answer;
+}
+
+}  // namespace
+
+std::string QueryAnswer::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  if (free_var_names.empty()) {
+    return boolean ? "yes" : "no";
+  }
+  if (rows.empty()) return "no answers";
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += free_var_names[i] + " = ";
+      out += row[i].temporal ? std::to_string(row[i].time)
+                             : vocab.ConstantName(row[i].constant);
+    }
+    out += "\n";
+  }
+  if (rewrite_lhs >= 0) {
+    out += "(with rewrite rule " + std::to_string(rewrite_lhs) + " -> " +
+           std::to_string(rewrite_lhs - rewrite_p) +
+           ": temporal answer t >= " + std::to_string(rewrite_lhs - rewrite_p) +
+           " also stands for t + " + std::to_string(rewrite_p) + "k)\n";
+  }
+  return out;
+}
+
+Result<QueryAnswer> EvaluateQueryOverSpec(
+    const Query& query, const RelationalSpecification& spec) {
+  std::vector<int64_t> temporal_domain;
+  temporal_domain.reserve(static_cast<std::size_t>(spec.num_representatives()));
+  for (int64_t t = 0; t < spec.num_representatives(); ++t) {
+    temporal_domain.push_back(t);
+  }
+  Evaluator evaluator(
+      query, [&spec](const GroundAtom& atom) { return spec.Ask(atom); },
+      std::move(temporal_domain), ActiveConstants(query, spec.primary()),
+      /*allow_equality=*/false);
+  return Run(query, std::move(evaluator), spec.rewrite_lhs(),
+             spec.period().p);
+}
+
+Result<QueryAnswer> EvaluateQueryOverModel(const Query& query,
+                                           const Interpretation& model,
+                                           int64_t temporal_horizon) {
+  std::vector<int64_t> temporal_domain;
+  temporal_domain.reserve(static_cast<std::size_t>(temporal_horizon) + 1);
+  for (int64_t t = 0; t <= temporal_horizon; ++t) {
+    temporal_domain.push_back(t);
+  }
+  Evaluator evaluator(
+      query, [&model](const GroundAtom& atom) { return model.Contains(atom); },
+      std::move(temporal_domain), ActiveConstants(query, model),
+      /*allow_equality=*/true);
+  return Run(query, std::move(evaluator), /*rewrite_lhs=*/-1, /*rewrite_p=*/0);
+}
+
+}  // namespace chronolog

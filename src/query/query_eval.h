@@ -1,0 +1,67 @@
+#ifndef CHRONOLOG_QUERY_QUERY_EVAL_H_
+#define CHRONOLOG_QUERY_QUERY_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_ast.h"
+#include "spec/specification.h"
+#include "storage/interpretation.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// One value of a query answer: a ground temporal term (representative) or a
+/// database constant.
+struct QueryValue {
+  bool temporal = false;
+  int64_t time = 0;       // meaningful when temporal
+  SymbolId constant = 0;  // meaningful when !temporal
+
+  friend bool operator==(const QueryValue& a, const QueryValue& b) {
+    return a.temporal == b.temporal &&
+           (a.temporal ? a.time == b.time : a.constant == b.constant);
+  }
+};
+
+/// Answer to a first-order temporal query.
+///
+/// For a closed query only `boolean` is meaningful. For an open query each
+/// row is a satisfying assignment of the free variables; temporal values are
+/// *representative* terms, and together with the specification's rewrite
+/// rule (`rewrite_lhs -> rewrite_lhs - rewrite_p`) each row finitely
+/// represents the possibly infinitely many original answers (the paper's
+/// `even(X)` example: `X = 0` plus `2 -> 0` represents 0, 2, 4, ...).
+struct QueryAnswer {
+  bool boolean = false;
+  std::vector<std::string> free_var_names;
+  std::vector<bool> free_var_temporal;
+  std::vector<std::vector<QueryValue>> rows;
+  /// Rewrite rule accompanying open answers; -1 when answered over a plain
+  /// materialised model.
+  int64_t rewrite_lhs = -1;
+  int64_t rewrite_p = 0;
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// Evaluates a query over a relational specification per Proposition 3.1:
+/// temporal quantifiers (and free temporal variables) range over the
+/// representative terms `T`, non-temporal ones over the active constants of
+/// `B` plus the query's own constants; atoms are canonicalised by `W` and
+/// looked up in `B`; negation is closed-world.
+Result<QueryAnswer> EvaluateQueryOverSpec(const Query& query,
+                                          const RelationalSpecification& spec);
+
+/// Reference evaluator over an explicitly materialised segment of the least
+/// model: temporal quantifiers range over `[0...temporal_horizon]`. Used to
+/// validate invariance (Proposition 3.1) in tests and benchmarks; for
+/// queries whose quantifiers "stabilise" within the horizon this equals the
+/// infinite-model semantics.
+Result<QueryAnswer> EvaluateQueryOverModel(const Query& query,
+                                           const Interpretation& model,
+                                           int64_t temporal_horizon);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_QUERY_QUERY_EVAL_H_

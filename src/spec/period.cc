@@ -1,0 +1,119 @@
+#include "spec/period.h"
+
+#include <algorithm>
+
+#include "eval/fixpoint.h"
+
+namespace chronolog {
+
+bool FindMinimalPeriodInWindow(const std::vector<State>& states,
+                               int64_t min_cycles, int64_t* k_out,
+                               int64_t* p_out) {
+  const int64_t n = static_cast<int64_t>(states.size());
+  for (int64_t p = 1; p <= n / (min_cycles + 1); ++p) {
+    // Smallest k with states[t] == states[t+p] for all t in [k, n-1-p]:
+    // scan down from the end until the first mismatch.
+    int64_t k = n - p;
+    while (k > 0 && states[k - 1] == states[k - 1 + p]) --k;
+    if (k == n - p) continue;  // no trailing agreement at all
+    // Evidence: the agreeing suffix must span at least min_cycles cycles.
+    if (n - k >= (min_cycles + 1) * p) {
+      *k_out = k;
+      *p_out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Extracts M[0...horizon] from a materialised interpretation.
+std::vector<State> ExtractStates(const Interpretation& model,
+                                 int64_t horizon) {
+  std::vector<State> states;
+  states.reserve(static_cast<std::size_t>(horizon) + 1);
+  for (int64_t t = 0; t <= horizon; ++t) {
+    states.push_back(State::FromInterpretation(model, t));
+  }
+  return states;
+}
+
+Result<PeriodDetection> DetectByDoubling(const Program& program,
+                                         const Database& db,
+                                         const PeriodDetectionOptions& options,
+                                         int64_t c) {
+  PeriodDetection result{Period{}, c, 0, Interpretation(program.vocab_ptr()),
+                         {}, /*exact=*/false, {}};
+  const int64_t g = std::max<int64_t>(1, program.MaxTemporalDepth());
+
+  int64_t m = std::max(options.initial_horizon, c + 4 * g + 4);
+  bool have_candidate = false;
+  int64_t prev_k = -1;
+  int64_t prev_p = -1;
+
+  while (m <= options.max_horizon) {
+    FixpointOptions fp;
+    fp.max_time = m;
+    fp.max_facts = options.max_facts;
+    CHRONOLOG_ASSIGN_OR_RETURN(
+        Interpretation model, SemiNaiveFixpoint(program, db, fp, &result.stats));
+    std::vector<State> states = ExtractStates(model, m);
+
+    int64_t k = 0;
+    int64_t p = 0;
+    if (FindMinimalPeriodInWindow(states, /*min_cycles=*/3, &k, &p)) {
+      if (have_candidate && k == prev_k && p == prev_p) {
+        // Stable across a doubling: accept.
+        result.period.b = std::max<int64_t>(0, k - c);
+        result.period.p = p;
+        result.horizon = m;
+        result.model = std::move(model);
+        result.states = std::move(states);
+        return result;
+      }
+      have_candidate = true;
+      prev_k = k;
+      prev_p = p;
+    } else {
+      have_candidate = false;
+    }
+    m *= 2;
+  }
+  return ResourceExhaustedError(
+      "DetectPeriod: no stable period within max_horizon = " +
+      std::to_string(options.max_horizon) +
+      "; the period may be exponential in the database size (Theorem 3.1)");
+}
+
+}  // namespace
+
+Result<PeriodDetection> DetectPeriod(const Program& program,
+                                     const Database& db,
+                                     const PeriodDetectionOptions& options) {
+  const int64_t c = db.MaxTemporalDepth();
+  ProgressivityReport progressive = CheckProgressive(program);
+  if (progressive.progressive) {
+    ForwardOptions fwd;
+    fwd.max_steps = options.max_horizon;
+    fwd.max_facts = options.max_facts;
+    CHRONOLOG_ASSIGN_OR_RETURN(ForwardResult forward,
+                               ForwardSimulate(program, db, fwd));
+    PeriodDetection result{forward.period,
+                           c,
+                           forward.horizon,
+                           std::move(forward.model),
+                           std::move(forward.states),
+                           /*exact=*/true,
+                           forward.stats};
+    return result;
+  }
+  if (!options.allow_general) {
+    return FailedPreconditionError(
+        "DetectPeriod: program is not progressive (" + progressive.reason +
+        ") and the verified-doubling fallback is disabled");
+  }
+  return DetectByDoubling(program, db, options, c);
+}
+
+}  // namespace chronolog

@@ -1,0 +1,68 @@
+#ifndef CHRONOLOG_SPEC_PERIOD_H_
+#define CHRONOLOG_SPEC_PERIOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/forward.h"
+#include "storage/interpretation.h"
+#include "storage/state.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// Options for minimal-period detection.
+struct PeriodDetectionOptions {
+  /// Starting window for the verified-doubling detector.
+  int64_t initial_horizon = 64;
+  /// Hard ceiling for both detectors; exceeded => kResourceExhausted
+  /// (periods can be exponential in the database size, Theorem 3.1).
+  int64_t max_horizon = 1 << 20;
+  /// Permit the verified-doubling fallback for non-progressive programs.
+  /// When false, non-progressive programs fail with kFailedPrecondition.
+  bool allow_general = true;
+  uint64_t max_facts = 50'000'000;
+};
+
+/// Outcome of period detection: the minimal period of `M_{Z∧D}`, the least
+/// model materialised far enough to build a relational specification, and
+/// the per-time states used for detection.
+struct PeriodDetection {
+  Period period;
+  int64_t c = 0;        // max temporal depth of the database
+  int64_t horizon = 0;  // model materialised on [0...horizon]
+  Interpretation model;
+  std::vector<State> states;  // M[0...horizon]
+  /// True when produced by the exact forward detector (progressive
+  /// programs); false when produced by verified doubling, which certifies
+  /// the period on a window of at least two extra cycles but is not a proof.
+  bool exact = true;
+  EvalStats stats;
+};
+
+/// Detects the minimal period `(b, p)` of the least model of `Z ∧ D`.
+///
+/// Progressive programs (eval/forward.h) use the exact simulator: the state
+/// windows beyond the database horizon form a deterministic orbit, so the
+/// first repeated window yields the minimal period. Other programs fall
+/// back to *verified doubling*: compute the truncated least model on
+/// `[0...m]`, extract the minimal `(b, p)` consistent with that window,
+/// then re-verify on `[0...2m]` until the answer is stable with at least two
+/// full trailing cycles of slack.
+Result<PeriodDetection> DetectPeriod(
+    const Program& program, const Database& db,
+    const PeriodDetectionOptions& options = {});
+
+/// Returns the minimal `(k, p)` (absolute start `k`, not yet normalised by
+/// `c`) such that `states[t] == states[t+p]` for all `t` in
+/// `[k, states.size()-1-p]`, preferring the smallest `p` whose evidence
+/// window spans at least `min_cycles` full cycles. Returns false when no
+/// candidate has enough evidence.
+bool FindMinimalPeriodInWindow(const std::vector<State>& states,
+                               int64_t min_cycles, int64_t* k_out,
+                               int64_t* p_out);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_SPEC_PERIOD_H_

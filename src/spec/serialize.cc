@@ -1,0 +1,79 @@
+#include "spec/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+
+namespace chronolog {
+
+std::string SerializeSpecification(const RelationalSpecification& spec) {
+  std::string out = "%!chronolog-spec 1\n";
+  out += "%!period b=" + std::to_string(spec.period().b) +
+         " p=" + std::to_string(spec.period().p) +
+         " c=" + std::to_string(spec.c()) + "\n";
+  const Vocabulary& vocab = spec.primary().vocab();
+  for (PredicateId pred : vocab.AllPredicates()) {
+    const PredicateInfo& info = vocab.predicate(pred);
+    out += (info.is_temporal ? "@temporal " : "@predicate ") + info.name +
+           "/" + std::to_string(info.written_arity()) + ".\n";
+  }
+  spec.primary().ForEach([&](PredicateId pred, int64_t time,
+                             const Tuple& args) {
+    out += GroundAtomToString(GroundAtom(pred, time, args), vocab) + ".\n";
+  });
+  return out;
+}
+
+Result<RelationalSpecification> DeserializeSpecification(
+    std::string_view text) {
+  // Locate the `%!period` header.
+  int64_t b = -1;
+  int64_t p = -1;
+  int64_t c = -1;
+  bool versioned = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.rfind("%!chronolog-spec", 0) == 0) {
+      int version = 0;
+      if (std::sscanf(line.c_str(), "%%!chronolog-spec %d", &version) != 1 ||
+          version != 1) {
+        return InvalidArgumentError("unsupported specification version: " +
+                                    line);
+      }
+      versioned = true;
+      continue;
+    }
+    if (line.rfind("%!period", 0) == 0) {
+      if (std::sscanf(line.c_str(),
+                      "%%!period b=%" SCNd64 " p=%" SCNd64 " c=%" SCNd64, &b,
+                      &p, &c) != 3) {
+        return InvalidArgumentError("malformed period header: " + line);
+      }
+      continue;
+    }
+  }
+  if (!versioned) {
+    return InvalidArgumentError(
+        "missing %!chronolog-spec header; not a serialised specification");
+  }
+  if (b < 0 || p <= 0 || c < 0) {
+    return InvalidArgumentError("missing or invalid %!period header");
+  }
+
+  CHRONOLOG_ASSIGN_OR_RETURN(ParsedUnit unit, Parser::Parse(text));
+  if (!unit.program.rules().empty()) {
+    return InvalidArgumentError(
+        "serialised specification must not contain rules");
+  }
+  Interpretation primary(unit.database.vocab_ptr());
+  primary.InsertDatabase(unit.database);
+  return RelationalSpecification(Period{b, p}, c, std::move(primary));
+}
+
+}  // namespace chronolog

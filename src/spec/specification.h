@@ -1,0 +1,104 @@
+#ifndef CHRONOLOG_SPEC_SPECIFICATION_H_
+#define CHRONOLOG_SPEC_SPECIFICATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ast/program.h"
+#include "spec/period.h"
+#include "storage/interpretation.h"
+#include "util/result.h"
+
+namespace chronolog {
+
+/// A relational specification `S_{Z∧D} = (T, B, W)` of the (possibly
+/// infinite) least model `M_{Z∧D}` (Section 3.3):
+///
+///  * `T` — the representative ground temporal terms `0, 1, ..., b+c+p-1`;
+///  * `B` — the primary database: the least model restricted to the
+///    representative terms, plus its non-temporal part;
+///  * `W` — for TDDs a single ground rewrite rule `b+c+p -> b+c`, applied to
+///    exhaustion to canonicalise any ground temporal term.
+///
+/// Every temporal query is invariant w.r.t. relational specifications
+/// (Proposition 3.1), so evaluation over `B` with rewriting by `W` answers
+/// queries against the infinite least model.
+class RelationalSpecification {
+ public:
+  RelationalSpecification(Period period, int64_t c, Interpretation primary)
+      : period_(period), c_(c), primary_(std::move(primary)) {}
+
+  const Period& period() const { return period_; }
+  int64_t c() const { return c_; }
+
+  /// Left-hand side of the single rewrite rule in `W` (`b+c+p`); its
+  /// right-hand side is `lhs - p`.
+  int64_t rewrite_lhs() const { return period_.b + c_ + period_.p; }
+
+  /// Number of representative terms `|T| = b + c + p`.
+  int64_t num_representatives() const {
+    return period_.b + c_ + period_.p;
+  }
+
+  /// True when `t` is a representative term (already canonical).
+  bool IsRepresentative(int64_t t) const {
+    return t >= 0 && t < num_representatives();
+  }
+
+  /// Canonical form of the ground temporal term `t` under `W`: rewriting
+  /// `b+c+p -> b+c` to exhaustion folds `t` into the representative
+  /// `b + c + ((t - b - c) mod p)` when `t >= b+c+p`.
+  int64_t Canonicalize(int64_t t) const {
+    const int64_t base = period_.b + c_;
+    if (t < base + period_.p) return t;
+    return base + (t - base) % period_.p;
+  }
+
+  /// The primary database `B` (facts at representative times plus the
+  /// non-temporal part).
+  const Interpretation& primary() const { return primary_; }
+
+  /// Yes-no query for an arbitrary ground atom: canonicalise, then look up
+  /// in `B`. Decides `M_{Z∧D} |= atom` in time independent of the temporal
+  /// depth of the atom.
+  bool Ask(const GroundAtom& atom) const {
+    if (!primary_.vocab().predicate(atom.pred).is_temporal) {
+      return primary_.Contains(atom);
+    }
+    if (atom.time < 0) return false;
+    GroundAtom canonical = atom;
+    canonical.time = Canonicalize(atom.time);
+    return primary_.Contains(canonical);
+  }
+
+  /// Total number of facts in `B` (the specification's size measure; its
+  /// term component is `|T| = b+c+p` and `W` is constant-sized).
+  std::size_t SizeInFacts() const { return primary_.size(); }
+
+  /// Human-readable rendering of `(T, B, W)` for diagnostics and the REPL.
+  std::string ToString() const;
+
+ private:
+  Period period_;
+  int64_t c_;
+  Interpretation primary_;
+};
+
+/// Builds the relational specification of `M_{Z∧D}`: detects the minimal
+/// period and truncates the materialised least model to the representative
+/// segment (the procedure of the paper's reference [6], specialised to
+/// TDDs).
+struct SpecificationBuildInfo {
+  bool exact_period = true;
+  EvalStats stats;
+  int64_t detection_horizon = 0;
+};
+
+Result<RelationalSpecification> BuildSpecification(
+    const Program& program, const Database& db,
+    const PeriodDetectionOptions& options = {},
+    SpecificationBuildInfo* info = nullptr);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_SPEC_SPECIFICATION_H_

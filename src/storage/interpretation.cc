@@ -1,0 +1,253 @@
+#include "storage/interpretation.h"
+
+#include <cassert>
+
+namespace chronolog {
+
+namespace {
+const TupleSet kEmptyTupleSet;
+const std::map<int64_t, TupleSet> kEmptyTimeline;
+}  // namespace
+
+Interpretation::Interpretation(std::shared_ptr<Vocabulary> vocab)
+    : vocab_(std::move(vocab)) {
+  assert(vocab_ != nullptr);
+  non_temporal_.resize(vocab_->num_predicates());
+  temporal_.resize(vocab_->num_predicates());
+}
+
+Interpretation::Interpretation(const Interpretation& other)
+    : vocab_(other.vocab_),
+      non_temporal_(other.non_temporal_),
+      temporal_(other.temporal_),
+      size_(other.size_) {}
+
+Interpretation& Interpretation::operator=(const Interpretation& other) {
+  if (this == &other) return *this;
+  vocab_ = other.vocab_;
+  non_temporal_ = other.non_temporal_;
+  temporal_ = other.temporal_;
+  size_ = other.size_;
+  nt_index_.clear();
+  t_index_.clear();
+  return *this;
+}
+
+void Interpretation::EnsurePred(PredicateId pred) {
+  // The vocabulary may have grown since construction (e.g. normalization
+  // introduces predicates); grow lazily.
+  if (pred >= non_temporal_.size()) {
+    non_temporal_.resize(vocab_->num_predicates());
+    temporal_.resize(vocab_->num_predicates());
+  }
+}
+
+void Interpretation::IndexInsertedTuple(PredicateId pred, bool temporal,
+                                        int64_t time, const Tuple& stored) {
+  if (temporal) {
+    if (pred >= t_index_.size() || t_index_[pred].empty()) return;
+    for (auto& [key, index] : t_index_[pred]) {
+      if (key.first != time) continue;
+      index.buckets[stored[key.second]].push_back(&stored);
+    }
+  } else {
+    if (pred >= nt_index_.size() || nt_index_[pred].empty()) return;
+    for (auto& [col, index] : nt_index_[pred]) {
+      index.buckets[stored[col]].push_back(&stored);
+    }
+  }
+}
+
+bool Interpretation::Insert(const GroundAtom& fact) {
+  return Insert(fact.pred, fact.time, fact.args);
+}
+
+bool Interpretation::Insert(PredicateId pred, int64_t time, Tuple args) {
+  EnsurePred(pred);
+  const bool temporal = vocab_->predicate(pred).is_temporal;
+  const Tuple* stored = nullptr;
+  bool inserted;
+  if (temporal) {
+    assert(time >= 0);
+    auto [it, fresh] = temporal_[pred][time].insert(std::move(args));
+    inserted = fresh;
+    stored = &*it;
+  } else {
+    auto [it, fresh] = non_temporal_[pred].insert(std::move(args));
+    inserted = fresh;
+    stored = &*it;
+  }
+  if (inserted) {
+    ++size_;
+    IndexInsertedTuple(pred, temporal, time, *stored);
+  }
+  return inserted;
+}
+
+const std::vector<const Tuple*>* Interpretation::ProbeNonTemporal(
+    PredicateId pred, uint32_t col, SymbolId value) const {
+  assert(!vocab_->predicate(pred).is_temporal);
+  if (pred >= non_temporal_.size()) return nullptr;
+  if (nt_index_.size() < non_temporal_.size()) {
+    nt_index_.resize(non_temporal_.size());
+  }
+  auto [it, fresh] = nt_index_[pred].try_emplace(col);
+  ColumnBuckets& index = it->second;
+  if (fresh) {
+    for (const Tuple& tuple : non_temporal_[pred]) {
+      index.buckets[tuple[col]].push_back(&tuple);
+    }
+  }
+  auto bucket = index.buckets.find(value);
+  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+}
+
+const std::vector<const Tuple*>* Interpretation::ProbeSnapshot(
+    PredicateId pred, int64_t time, uint32_t col, SymbolId value) const {
+  assert(vocab_->predicate(pred).is_temporal);
+  if (pred >= temporal_.size()) return nullptr;
+  auto cell = temporal_[pred].find(time);
+  if (cell == temporal_[pred].end()) return nullptr;
+  if (t_index_.size() < temporal_.size()) t_index_.resize(temporal_.size());
+  auto [it, fresh] = t_index_[pred].try_emplace(std::make_pair(time, col));
+  ColumnBuckets& index = it->second;
+  if (fresh) {
+    for (const Tuple& tuple : cell->second) {
+      index.buckets[tuple[col]].push_back(&tuple);
+    }
+  }
+  auto bucket = index.buckets.find(value);
+  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+}
+
+void Interpretation::InsertDatabase(const Database& db) {
+  for (const GroundAtom& f : db.facts()) Insert(f);
+}
+
+bool Interpretation::Contains(const GroundAtom& fact) const {
+  return Contains(fact.pred, fact.time, fact.args);
+}
+
+bool Interpretation::Contains(PredicateId pred, int64_t time,
+                              const Tuple& args) const {
+  if (vocab_->predicate(pred).is_temporal) {
+    if (pred >= temporal_.size()) return false;
+    auto it = temporal_[pred].find(time);
+    if (it == temporal_[pred].end()) return false;
+    return it->second.count(args) > 0;
+  }
+  if (pred >= non_temporal_.size()) return false;
+  return non_temporal_[pred].count(args) > 0;
+}
+
+const TupleSet& Interpretation::NonTemporal(PredicateId pred) const {
+  assert(!vocab_->predicate(pred).is_temporal);
+  if (pred >= non_temporal_.size()) return kEmptyTupleSet;
+  return non_temporal_[pred];
+}
+
+const TupleSet& Interpretation::Snapshot(PredicateId pred, int64_t time) const {
+  assert(vocab_->predicate(pred).is_temporal);
+  if (pred >= temporal_.size()) return kEmptyTupleSet;
+  auto it = temporal_[pred].find(time);
+  if (it == temporal_[pred].end()) return kEmptyTupleSet;
+  return it->second;
+}
+
+const std::map<int64_t, TupleSet>& Interpretation::Timeline(
+    PredicateId pred) const {
+  assert(vocab_->predicate(pred).is_temporal);
+  if (pred >= temporal_.size()) return kEmptyTimeline;
+  return temporal_[pred];
+}
+
+int64_t Interpretation::MaxTime() const {
+  int64_t max_time = -1;
+  for (std::size_t p = 0; p < temporal_.size(); ++p) {
+    const auto& timeline = temporal_[p];
+    if (!timeline.empty()) {
+      max_time = std::max(max_time, timeline.rbegin()->first);
+    }
+  }
+  return max_time;
+}
+
+void Interpretation::ForEach(
+    const std::function<void(PredicateId, int64_t, const Tuple&)>& fn) const {
+  for (std::size_t p = 0; p < non_temporal_.size(); ++p) {
+    PredicateId pred = static_cast<PredicateId>(p);
+    if (vocab_->predicate(pred).is_temporal) {
+      for (const auto& [time, tuples] : temporal_[p]) {
+        for (const Tuple& t : tuples) fn(pred, time, t);
+      }
+    } else {
+      for (const Tuple& t : non_temporal_[p]) fn(pred, 0, t);
+    }
+  }
+}
+
+Interpretation Interpretation::Truncate(int64_t m) const {
+  Interpretation out = *this;
+  out.TruncateInPlace(m);
+  return out;
+}
+
+void Interpretation::TruncateInPlace(int64_t m) {
+  for (auto& timeline : temporal_) {
+    auto it = timeline.upper_bound(m);
+    while (it != timeline.end()) {
+      size_ -= it->second.size();
+      it = timeline.erase(it);
+    }
+  }
+  // Snapshot indexes hold pointers into the erased sets.
+  t_index_.clear();
+}
+
+bool Interpretation::NonTemporalEquals(const Interpretation& other) const {
+  std::size_t n = std::max(non_temporal_.size(), other.non_temporal_.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    const TupleSet& a =
+        p < non_temporal_.size() ? non_temporal_[p] : kEmptyTupleSet;
+    const TupleSet& b = p < other.non_temporal_.size()
+                            ? other.non_temporal_[p]
+                            : kEmptyTupleSet;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+bool Interpretation::SegmentEquals(const Interpretation& other, int64_t m,
+                                   bool and_non_temporal) const {
+  if (and_non_temporal && !NonTemporalEquals(other)) return false;
+  std::size_t n = std::max(temporal_.size(), other.temporal_.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& ta = p < temporal_.size() ? temporal_[p] : kEmptyTimeline;
+    const auto& tb =
+        p < other.temporal_.size() ? other.temporal_[p] : kEmptyTimeline;
+    auto ia = ta.begin();
+    auto ib = tb.begin();
+    while (true) {
+      // Skip empty cells (can arise from operator[] on the timeline).
+      while (ia != ta.end() && (ia->first > m || ia->second.empty())) ++ia;
+      while (ib != tb.end() && (ib->first > m || ib->second.empty())) ++ib;
+      bool ea = (ia == ta.end() || ia->first > m);
+      bool eb = (ib == tb.end() || ib->first > m);
+      if (ea || eb) {
+        if (ea != eb) return false;
+        break;
+      }
+      if (ia->first != ib->first || ia->second != ib->second) return false;
+      ++ia;
+      ++ib;
+    }
+  }
+  return true;
+}
+
+bool operator==(const Interpretation& a, const Interpretation& b) {
+  int64_t m = std::max(a.MaxTime(), b.MaxTime());
+  return a.SegmentEquals(b, m, /*and_non_temporal=*/true);
+}
+
+}  // namespace chronolog

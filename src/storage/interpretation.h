@@ -1,0 +1,130 @@
+#ifndef CHRONOLOG_STORAGE_INTERPRETATION_H_
+#define CHRONOLOG_STORAGE_INTERPRETATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "ast/vocabulary.h"
+#include "storage/tuple.h"
+
+namespace chronolog {
+
+/// A finite fragment of a Herbrand interpretation of a TDD: for every
+/// temporal predicate a snapshot index `time -> tuples`, for every
+/// non-temporal predicate a tuple set (the paper's `M_nt`).
+///
+/// Interpretations are the working store of every evaluator in chronolog:
+/// `T_{Z∧D}` maps interpretations to interpretations, algorithm BT iterates
+/// truncated interpretations, and the primary database `B` of a relational
+/// specification is an interpretation restricted to representative times.
+class Interpretation {
+ public:
+  explicit Interpretation(std::shared_ptr<Vocabulary> vocab);
+
+  // Copies carry the facts but not the lazily built column indexes (those
+  // hold pointers into this instance's tuple sets). Moves keep them:
+  // unordered_set nodes are stable under move.
+  Interpretation(const Interpretation& other);
+  Interpretation& operator=(const Interpretation& other);
+  Interpretation(Interpretation&&) = default;
+  Interpretation& operator=(Interpretation&&) = default;
+
+  const Vocabulary& vocab() const { return *vocab_; }
+  const std::shared_ptr<Vocabulary>& vocab_ptr() const { return vocab_; }
+
+  /// Inserts a fact; returns true when it was new. For temporal predicates,
+  /// `time` must be >= 0.
+  bool Insert(const GroundAtom& fact);
+  bool Insert(PredicateId pred, int64_t time, Tuple args);
+
+  /// Inserts every fact of `db`.
+  void InsertDatabase(const Database& db);
+
+  bool Contains(const GroundAtom& fact) const;
+  bool Contains(PredicateId pred, int64_t time, const Tuple& args) const;
+
+  /// Number of stored facts (temporal + non-temporal).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tuples of a non-temporal predicate.
+  const TupleSet& NonTemporal(PredicateId pred) const;
+
+  /// Tuples of a temporal predicate at `time` — one cell of the paper's
+  /// snapshot `M(t)`. Returns an empty set when nothing is stored there.
+  const TupleSet& Snapshot(PredicateId pred, int64_t time) const;
+
+  /// All populated time points of a temporal predicate, ascending.
+  const std::map<int64_t, TupleSet>& Timeline(PredicateId pred) const;
+
+  /// Largest time point carrying any temporal fact; -1 when none.
+  int64_t MaxTime() const;
+
+  /// Enumerates every stored fact. `fn` receives (pred, time, tuple); `time`
+  /// is 0 for non-temporal predicates.
+  void ForEach(
+      const std::function<void(PredicateId, int64_t, const Tuple&)>& fn) const;
+
+  /// Copy of this interpretation with every temporal fact at time > `m`
+  /// removed — the paper's `L'(0...m) ∪ L'_nt` truncation used by BT.
+  Interpretation Truncate(int64_t m) const;
+
+  /// Removes (in place) every temporal fact at time > `m`.
+  void TruncateInPlace(int64_t m);
+
+  /// True when both interpretations contain the same non-temporal facts.
+  bool NonTemporalEquals(const Interpretation& other) const;
+
+  /// True when both interpretations coincide on the segment `[0...m]`
+  /// (and, with `and_non_temporal`, on the non-temporal part too) — the
+  /// termination test of algorithm BT.
+  bool SegmentEquals(const Interpretation& other, int64_t m,
+                     bool and_non_temporal = true) const;
+
+  friend bool operator==(const Interpretation& a, const Interpretation& b);
+
+  /// Column-index probes for hash joins. Returns the tuples of `pred`
+  /// (restricted to snapshot `time` for temporal predicates) whose column
+  /// `col` equals `value`, or nullptr when there are none. The index for a
+  /// (pred, [time,] col) combination is built lazily on first probe and
+  /// maintained by subsequent inserts; tuple pointers stay valid as long as
+  /// this interpretation is neither destroyed, copied over, nor truncated.
+  const std::vector<const Tuple*>* ProbeNonTemporal(PredicateId pred,
+                                                    uint32_t col,
+                                                    SymbolId value) const;
+  const std::vector<const Tuple*>* ProbeSnapshot(PredicateId pred,
+                                                 int64_t time, uint32_t col,
+                                                 SymbolId value) const;
+
+ private:
+  /// value -> tuples bucket map of one indexed column.
+  struct ColumnBuckets {
+    std::unordered_map<SymbolId, std::vector<const Tuple*>> buckets;
+  };
+
+  std::shared_ptr<Vocabulary> vocab_;
+  // Indexed by PredicateId. Exactly one of the two slots is meaningful per
+  // predicate; both are default-constructed for uniformity.
+  std::vector<TupleSet> non_temporal_;
+  std::vector<std::map<int64_t, TupleSet>> temporal_;
+  std::size_t size_ = 0;
+
+  // Lazily built column indexes (see ProbeNonTemporal / ProbeSnapshot).
+  mutable std::vector<std::map<uint32_t, ColumnBuckets>> nt_index_;
+  mutable std::vector<std::map<std::pair<int64_t, uint32_t>, ColumnBuckets>>
+      t_index_;
+
+  void EnsurePred(PredicateId pred);
+  void IndexInsertedTuple(PredicateId pred, bool temporal, int64_t time,
+                          const Tuple& stored);
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_STORAGE_INTERPRETATION_H_

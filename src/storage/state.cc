@@ -1,0 +1,53 @@
+#include "storage/state.h"
+
+#include <algorithm>
+
+namespace chronolog {
+
+State State::FromInterpretation(const Interpretation& interp, int64_t t) {
+  State state;
+  const Vocabulary& vocab = interp.vocab();
+  for (PredicateId pred : vocab.AllPredicates()) {
+    if (!vocab.predicate(pred).is_temporal) continue;
+    for (const Tuple& tuple : interp.Snapshot(pred, t)) {
+      state.facts_.emplace_back(pred, tuple);
+    }
+  }
+  std::sort(state.facts_.begin(), state.facts_.end());
+  return state;
+}
+
+std::size_t State::Hash() const {
+  std::size_t seed = facts_.size();
+  for (const auto& [pred, tuple] : facts_) {
+    HashCombine(seed, static_cast<std::size_t>(pred));
+    seed = HashRange(tuple.data(), tuple.size(), seed);
+  }
+  return seed;
+}
+
+StateWindow StateWindow::FromInterpretation(const Interpretation& interp,
+                                            int64_t t, int64_t width) {
+  StateWindow window;
+  window.states_.reserve(static_cast<std::size_t>(width));
+  for (int64_t i = 0; i < width; ++i) {
+    window.states_.push_back(State::FromInterpretation(interp, t + i));
+  }
+  return window;
+}
+
+StateWindow StateWindow::FromStates(const std::vector<State>& states,
+                                    std::size_t start, std::size_t width) {
+  StateWindow window;
+  window.states_.assign(states.begin() + start,
+                        states.begin() + start + width);
+  return window;
+}
+
+std::size_t StateWindow::Hash() const {
+  std::size_t seed = states_.size();
+  for (const State& s : states_) HashCombine(seed, s.Hash());
+  return seed;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,22 @@
+#ifndef CHRONOLOG_STORAGE_TUPLE_H_
+#define CHRONOLOG_STORAGE_TUPLE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/symbol_table.h"
+
+namespace chronolog {
+
+/// The non-temporal argument vector of a ground atom. Constants are interned
+/// symbols, so a tuple is a plain integer vector.
+using Tuple = std::vector<SymbolId>;
+
+/// Deduplicated set of tuples of one predicate (at one time point, for
+/// temporal predicates).
+using TupleSet = std::unordered_set<Tuple, VectorHash>;
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_STORAGE_TUPLE_H_

@@ -1,0 +1,36 @@
+#ifndef CHRONOLOG_UTIL_HASH_H_
+#define CHRONOLOG_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace chronolog {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, with a 64-bit
+/// golden-ratio constant). Order-sensitive.
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename Int>
+std::size_t HashRange(const Int* data, std::size_t n, std::size_t seed = 0) {
+  for (std::size_t i = 0; i < n; ++i) {
+    HashCombine(seed, static_cast<std::size_t>(data[i]));
+  }
+  return seed;
+}
+
+/// Hash functor for vectors of integral values (tuples of interned symbols).
+struct VectorHash {
+  template <typename Int>
+  std::size_t operator()(const std::vector<Int>& v) const {
+    return HashRange(v.data(), v.size(), v.size());
+  }
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_HASH_H_

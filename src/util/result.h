@@ -1,0 +1,89 @@
+#ifndef CHRONOLOG_UTIL_RESULT_H_
+#define CHRONOLOG_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace chronolog {
+
+/// `Result<T>` carries either a value of type `T` or a non-OK `Status`.
+/// It is the uniform return type of fallible value-producing functions in
+/// chronolog (the engine never throws across its public API).
+///
+/// Usage:
+///
+///   Result<Program> program = Parser::Parse(text);
+///   if (!program.ok()) return program.status();
+///   Use(program.value());
+///
+/// Inside functions that themselves return `Status` or `Result<U>`, the
+/// `CHRONOLOG_ASSIGN_OR_RETURN` macro removes the boilerplate.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit on purpose so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status` must not be OK: an OK status
+  /// without a value is a programming error and is reported as kInternal.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the carried status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Calling these when `!ok()` is a programming error.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs`. `lhs` may be a declaration:
+///   CHRONOLOG_ASSIGN_OR_RETURN(auto program, Parser::Parse(text));
+#define CHRONOLOG_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  CHRONOLOG_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CHRONOLOG_RESULT_CONCAT_(_chronolog_result_, __LINE__), lhs, rexpr)
+
+#define CHRONOLOG_RESULT_CONCAT_INNER_(x, y) x##y
+#define CHRONOLOG_RESULT_CONCAT_(x, y) CHRONOLOG_RESULT_CONCAT_INNER_(x, y)
+
+#define CHRONOLOG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_RESULT_H_

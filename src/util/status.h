@@ -1,0 +1,83 @@
+#ifndef CHRONOLOG_UTIL_STATUS_H_
+#define CHRONOLOG_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace chronolog {
+
+/// Canonical error space, modelled after the usual database-engine status
+/// vocabulary. `kOk` is the unique success code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed input (parse errors, bad parameters)
+  kNotFound = 2,          // referenced entity does not exist
+  kFailedPrecondition = 3,// operation not valid in the current engine state
+  kOutOfRange = 4,        // numeric argument outside the permitted range
+  kResourceExhausted = 5, // configured budget (time, fixpoint horizon) exceeded
+  kUnimplemented = 6,     // feature intentionally not supported
+  kInternal = 7,          // invariant violation: indicates a bug in chronolog
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, value-semantic success-or-error result used across every public
+/// chronolog API. No exceptions cross library boundaries; fallible functions
+/// return `Status` (or `Result<T>`, see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories mirroring the canonical codes.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning `Status` or `Result<T>` (both construct from `Status`).
+#define CHRONOLOG_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::chronolog::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                           \
+  } while (false)
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_STATUS_H_

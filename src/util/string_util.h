@@ -1,0 +1,23 @@
+#ifndef CHRONOLOG_UTIL_STRING_UTIL_H_
+#define CHRONOLOG_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chronolog {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` consists solely of ASCII decimal digits (and is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// Parses a non-negative decimal integer; returns false on overflow or
+/// malformed input.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_STRING_UTIL_H_

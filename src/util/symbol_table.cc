@@ -1,0 +1,27 @@
+#include "util/symbol_table.h"
+
+#include <cassert>
+
+namespace chronolog {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kInvalidSymbol;
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(SymbolId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace chronolog

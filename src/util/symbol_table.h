@@ -1,0 +1,55 @@
+#ifndef CHRONOLOG_UTIL_SYMBOL_TABLE_H_
+#define CHRONOLOG_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace chronolog {
+
+/// Identifier of an interned string. Dense, starting at 0, stable for the
+/// lifetime of the owning SymbolTable.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// Bidirectional string interner. All names in a temporal deductive database
+/// (constants, predicate names, variable names) are interned once and
+/// referred to by dense 32-bit ids, so tuples are plain integer vectors.
+///
+/// Not thread-safe; one table is owned per Vocabulary.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Copyable (tables are small; copies are used to fork vocabularies).
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// Returns the id of `name`, interning it if new.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` or kInvalidSymbol when not interned.
+  SymbolId Find(std::string_view name) const;
+
+  /// Returns the string for `id`. `id` must have been produced by this table.
+  const std::string& Name(SymbolId id) const;
+
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidSymbol;
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_SYMBOL_TABLE_H_

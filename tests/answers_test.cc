@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/fixpoint.h"
+#include "query/answers.h"
+#include "query/query_parser.h"
+#include "spec/specification.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+QueryAnswer MustAnswer(const ParsedUnit& unit,
+                       const RelationalSpecification& spec,
+                       std::string_view text) {
+  auto q = ParseQuery(text, unit.program.vocab());
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto a = EvaluateQueryOverSpec(*q, spec);
+  EXPECT_TRUE(a.ok()) << a.status();
+  return std::move(a).value();
+}
+
+TEST(AnswersTest, EvenUnfoldsToAllEvens) {
+  // The paper's Section 3.3 example: X = 0 with 2 -> 0 represents
+  // 0, 2, 4, ...
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "even(X)");
+  auto unfolded = UnfoldAnswers(answer, /*max_time=*/10);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  ASSERT_EQ(unfolded->size(), 6u);
+  for (std::size_t i = 0; i < unfolded->size(); ++i) {
+    EXPECT_EQ((*unfolded)[i][0].time, static_cast<int64_t>(2 * i));
+  }
+}
+
+TEST(AnswersTest, UnfoldingMatchesDeepMaterialisation) {
+  ParsedUnit unit = MustParse(workload::TokenRingSource({2, 3}));
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "tok(T, r0_0)");
+  const int64_t horizon = 24;
+  auto unfolded = UnfoldAnswers(answer, horizon);
+  ASSERT_TRUE(unfolded.ok());
+  // Cross-check every unfolded time against the materialised model, and
+  // the counts against a direct scan.
+  FixpointOptions options;
+  options.max_time = horizon;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  PredicateId tok = unit.program.vocab().FindPredicate("tok");
+  SymbolId r00 = unit.program.vocab().FindConstant("r0_0");
+  std::size_t expected = 0;
+  for (int64_t t = 0; t <= horizon; ++t) {
+    if (model->Contains(tok, t, {r00})) ++expected;
+  }
+  EXPECT_EQ(unfolded->size(), expected);
+  for (const auto& row : *unfolded) {
+    EXPECT_TRUE(model->Contains(tok, row[0].time, {r00})) << row[0].time;
+  }
+}
+
+TEST(AnswersTest, AperiodicPrefixRowsDoNotUnfold) {
+  // p holds only at times 0 and 1 (dies afterwards): both are prefix
+  // representatives and must appear exactly once.
+  ParsedUnit unit = MustParse("q(T+1) :- p(T).\np(0). q(5).");
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "p(X)");
+  auto unfolded = UnfoldAnswers(answer, 100);
+  ASSERT_TRUE(unfolded.ok());
+  ASSERT_EQ(unfolded->size(), 1u);
+  EXPECT_EQ((*unfolded)[0][0].time, 0);
+}
+
+TEST(AnswersTest, MixedColumnsUnfoldIndependently) {
+  ParsedUnit unit = MustParse(
+      "plane(T+2, X) :- plane(T, X), resort(X).\n"
+      "resort(r1). resort(r2). plane(0, r1). plane(0, r2).");
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "plane(T, X)");
+  auto unfolded = UnfoldAnswers(answer, 6);
+  ASSERT_TRUE(unfolded.ok());
+  // Times 0, 2, 4, 6 for each of r1, r2: 8 rows.
+  EXPECT_EQ(unfolded->size(), 8u);
+}
+
+TEST(AnswersTest, ModelAnswersCannotUnfold) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  FixpointOptions options;
+  options.max_time = 10;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  auto q = ParseQuery("even(X)", unit.program.vocab());
+  ASSERT_TRUE(q.ok());
+  auto answer = EvaluateQueryOverModel(*q, *model, 10);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(UnfoldAnswers(*answer, 100).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AnswersTest, MaxTimeBelowRowTimeYieldsNothing) {
+  ParsedUnit unit = MustParse("p(8). p(T+3) :- p(T).");
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "p(X)");
+  auto unfolded = UnfoldAnswers(answer, 5);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_TRUE(unfolded->empty());
+}
+
+}  // namespace
+}  // namespace chronolog

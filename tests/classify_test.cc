@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/depgraph.h"
+#include "ast/parser.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+// --------------------------------------------------------------------------
+// DependencyGraph
+// --------------------------------------------------------------------------
+
+TEST(DepGraphTest, DirectRecursionIsDetected) {
+  ParsedUnit unit = MustParse("even(0). even(T+2) :- even(T).");
+  DependencyGraph graph(unit.program);
+  PredicateId even = unit.program.vocab().FindPredicate("even");
+  EXPECT_TRUE(graph.IsRecursive(even));
+  EXPECT_FALSE(graph.HasMutualRecursion());
+}
+
+TEST(DepGraphTest, MutualRecursionIsDetected) {
+  ParsedUnit unit = MustParse(R"(
+    a(0). b(0).
+    a(T+1) :- b(T).
+    b(T+1) :- a(T).
+  )");
+  DependencyGraph graph(unit.program);
+  EXPECT_TRUE(graph.HasMutualRecursion());
+  PredicateId a = unit.program.vocab().FindPredicate("a");
+  PredicateId b = unit.program.vocab().FindPredicate("b");
+  EXPECT_TRUE(graph.IsRecursive(a));
+  EXPECT_TRUE(graph.IsRecursive(b));
+  EXPECT_EQ(graph.ComponentOf(a), graph.ComponentOf(b));
+}
+
+TEST(DepGraphTest, NonRecursiveChain) {
+  ParsedUnit unit = MustParse(R"(
+    c(X) :- b(X).
+    b(X) :- a(X).
+    a(x1).
+  )");
+  DependencyGraph graph(unit.program);
+  const Vocabulary& vocab = unit.program.vocab();
+  PredicateId a = vocab.FindPredicate("a");
+  PredicateId b = vocab.FindPredicate("b");
+  PredicateId c = vocab.FindPredicate("c");
+  EXPECT_FALSE(graph.HasMutualRecursion());
+  EXPECT_FALSE(graph.IsRecursive(a));
+  EXPECT_FALSE(graph.IsRecursive(b));
+  EXPECT_FALSE(graph.IsRecursive(c));
+  // Components in callee-first order: a before b before c.
+  EXPECT_LT(graph.ComponentOf(a), graph.ComponentOf(b));
+  EXPECT_LT(graph.ComponentOf(b), graph.ComponentOf(c));
+}
+
+TEST(DepGraphTest, TopologicalOrderVisitsLowerStrataFirst) {
+  ParsedUnit unit = MustParse(R"(
+    c(X) :- b(X).
+    b(X) :- a(X).
+    a(x1).
+  )");
+  DependencyGraph graph(unit.program);
+  const Vocabulary& vocab = unit.program.vocab();
+  std::vector<PredicateId> order = graph.TopologicalOrder();
+  auto position = [&order](PredicateId p) {
+    return std::find(order.begin(), order.end(), p) - order.begin();
+  };
+  EXPECT_LT(position(vocab.FindPredicate("a")),
+            position(vocab.FindPredicate("b")));
+  EXPECT_LT(position(vocab.FindPredicate("b")),
+            position(vocab.FindPredicate("c")));
+}
+
+TEST(DepGraphTest, BinaryCounterIsMutuallyRecursive) {
+  ParsedUnit unit = MustParse(workload::BinaryCounterSource(3));
+  DependencyGraph graph(unit.program);
+  EXPECT_TRUE(graph.HasMutualRecursion());  // bit0 <-> bit1
+}
+
+// --------------------------------------------------------------------------
+// Rule classification (Section 6 definitions)
+// --------------------------------------------------------------------------
+
+const Rule& OnlyRule(const ParsedUnit& unit) {
+  EXPECT_EQ(unit.program.rules().size(), 1u);
+  return unit.program.rules()[0];
+}
+
+TEST(ClassifyTest, PaperTimeOnlyReducedExample) {
+  // "near(T+1,X,Y) :- near(T,X,Y), idle(T,X), idle(T,Y)." — time-only and
+  // reduced (Section 6 example).
+  ParsedUnit unit = MustParse(
+      "@temporal near/3. @temporal idle/2.\n"
+      "near(T+1, X, Y) :- near(T, X, Y), idle(T, X), idle(T, Y).");
+  const Rule& rule = OnlyRule(unit);
+  EXPECT_TRUE(IsRecursiveRule(rule));
+  EXPECT_TRUE(IsTimeOnlyRule(rule));
+  EXPECT_TRUE(IsReducedTimeOnlyRule(rule));
+  EXPECT_FALSE(IsDataOnlyRule(rule));
+}
+
+TEST(ClassifyTest, PaperDataOnlyExample) {
+  // "happy(T,X) :- happy(T,Y), friend(X,Y)." — data-only (Section 6).
+  ParsedUnit unit = MustParse(
+      "@temporal happy/2.\n"
+      "happy(T, X) :- happy(T, Y), friend(X, Y).");
+  const Rule& rule = OnlyRule(unit);
+  EXPECT_TRUE(IsRecursiveRule(rule));
+  EXPECT_FALSE(IsTimeOnlyRule(rule));
+  EXPECT_TRUE(IsDataOnlyRule(rule));
+}
+
+TEST(ClassifyTest, NonReducedTimeOnly) {
+  // Body variable Z does not appear in the head: time-only but not reduced.
+  ParsedUnit unit = MustParse(
+      "@temporal p/2. @temporal q/2.\n"
+      "p(T+1, X) :- p(T, X), q(T, Z).");
+  const Rule& rule = OnlyRule(unit);
+  EXPECT_TRUE(IsTimeOnlyRule(rule));
+  EXPECT_FALSE(IsReducedTimeOnlyRule(rule));
+}
+
+TEST(ClassifyTest, NonRecursiveRuleIsNeither) {
+  ParsedUnit unit = MustParse("@temporal p/2. @temporal q/2.\n"
+                              "p(T, X) :- q(T, X).");
+  const Rule& rule = OnlyRule(unit);
+  EXPECT_FALSE(IsRecursiveRule(rule));
+  EXPECT_FALSE(IsTimeOnlyRule(rule));
+  EXPECT_FALSE(IsDataOnlyRule(rule));
+}
+
+TEST(ClassifyTest, RuleBothTimeOnlyAndDataOnly) {
+  // Identical temporal argument everywhere and identical non-temporal args:
+  // satisfies both definitions.
+  ParsedUnit unit = MustParse("@temporal p/2.\n"
+                              "p(T, X) :- p(T, X), r(X).");
+  const Rule& rule = OnlyRule(unit);
+  EXPECT_TRUE(IsTimeOnlyRule(rule));
+  EXPECT_TRUE(IsDataOnlyRule(rule));
+}
+
+TEST(ClassifyTest, PathRecursiveRuleIsNeitherTimeNorDataOnly) {
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::CycleGraphFactsSource(3));
+  // Rule 2: path(K+1,X,Z) :- edge(X,Y), path(K,Y,Z).
+  const Rule& rule = unit.program.rules()[1];
+  EXPECT_TRUE(IsRecursiveRule(rule));
+  EXPECT_FALSE(IsTimeOnlyRule(rule));
+  EXPECT_FALSE(IsDataOnlyRule(rule));
+}
+
+// --------------------------------------------------------------------------
+// Multi-separability and separability (paper Sections 2, 6, 7)
+// --------------------------------------------------------------------------
+
+TEST(SeparabilityTest, SkiExampleIsMultiSeparableButNotSeparable) {
+  // The paper states this explicitly at the end of Section 2.
+  ParsedUnit unit = MustParse(workload::SkiScheduleSource(2, 12, 4, 1));
+  DependencyGraph graph(unit.program);
+  SeparabilityReport report = CheckSeparability(unit.program, graph);
+  EXPECT_TRUE(report.multi_separable) << report.reason;
+  EXPECT_FALSE(report.separable);
+}
+
+TEST(SeparabilityTest, PathExampleIsNotMultiSeparable) {
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::CycleGraphFactsSource(3));
+  DependencyGraph graph(unit.program);
+  SeparabilityReport report = CheckSeparability(unit.program, graph);
+  EXPECT_FALSE(report.multi_separable);
+  EXPECT_NE(report.reason.find("path"), std::string::npos);
+}
+
+TEST(SeparabilityTest, MutualRecursionBreaksMultiSeparability) {
+  ParsedUnit unit = MustParse(workload::BinaryCounterSource(3));
+  DependencyGraph graph(unit.program);
+  SeparabilityReport report = CheckSeparability(unit.program, graph);
+  EXPECT_FALSE(report.multi_separable);
+  EXPECT_NE(report.reason.find("mutually recursive"), std::string::npos);
+}
+
+TEST(SeparabilityTest, EvenIsSeparable) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  DependencyGraph graph(unit.program);
+  SeparabilityReport report = CheckSeparability(unit.program, graph);
+  EXPECT_TRUE(report.multi_separable);
+  EXPECT_TRUE(report.separable);
+}
+
+TEST(SeparabilityTest, TokenRingIsNotMultiSeparable) {
+  ParsedUnit unit = MustParse(workload::TokenRingSource({3}));
+  DependencyGraph graph(unit.program);
+  EXPECT_FALSE(CheckSeparability(unit.program, graph).multi_separable);
+}
+
+TEST(SeparabilityTest, MixedTimeOnlyAndDataOnlyPredicatesAreAccepted) {
+  ParsedUnit unit = MustParse(R"(
+    @temporal alive/2. @temporal infected/2.
+    alive(T+1, X) :- alive(T, X).
+    infected(T, X) :- infected(T, Y), contact(X, Y).
+    infected(T+1, X) :- infected(T, X).
+    alive(0, anna). infected(0, bob). contact(anna, bob).
+  )");
+  DependencyGraph graph(unit.program);
+  SeparabilityReport report = CheckSeparability(unit.program, graph);
+  EXPECT_TRUE(report.multi_separable) << report.reason;
+}
+
+// --------------------------------------------------------------------------
+// ClassifyProgram aggregation
+// --------------------------------------------------------------------------
+
+TEST(ClassifyProgramTest, SkiSchedule) {
+  ParsedUnit unit = MustParse(workload::SkiScheduleSource(2, 12, 4, 1));
+  ProgramClassification c = ClassifyProgram(unit.program);
+  EXPECT_TRUE(c.range_restricted);
+  EXPECT_TRUE(c.semi_normal);
+  EXPECT_FALSE(c.normal);
+  EXPECT_TRUE(c.progressive);
+  EXPECT_TRUE(c.mutual_recursion_free);
+  EXPECT_TRUE(c.multi_separable);
+  EXPECT_FALSE(c.separable);
+  EXPECT_EQ(c.max_temporal_depth, 12);
+}
+
+TEST(ClassifyProgramTest, ToStringIsInformative) {
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::CycleGraphFactsSource(3));
+  std::string text = ClassifyProgram(unit.program).ToString();
+  EXPECT_NE(text.find("multi_separable:       no"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("progressive:           yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,198 @@
+// Cross-cutting coverage: quantifier alternations, open queries with
+// temporal offsets, engine corner cases, full-size paper scenario.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/engine.h"
+#include "eval/fixpoint.h"
+#include "query/query_eval.h"
+#include "query/query_parser.h"
+#include "spec/specification.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+// --------------------------------------------------------------------------
+// Quantifier alternation and edge shapes over specifications
+// --------------------------------------------------------------------------
+
+class AlternationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two resorts with different schedules: resort0 flies on even days,
+    // resort1 on odd days (after day 0 seeding).
+    unit_ = MustParse(R"(
+      plane(T+2, X) :- plane(T, X), resort(X).
+      resort(even_resort). resort(odd_resort).
+      plane(0, even_resort). plane(1, odd_resort).
+    )");
+    auto spec = BuildSpecification(unit_.program, unit_.database);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    spec_.emplace(std::move(spec).value());
+  }
+  QueryAnswer MustEval(std::string_view text) {
+    auto q = ParseQuery(text, unit_.program.vocab());
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto a = EvaluateQueryOverSpec(*q, *spec_);
+    EXPECT_TRUE(a.ok()) << a.status();
+    return std::move(a).value();
+  }
+  ParsedUnit unit_{Program(nullptr), Database(nullptr)};
+  std::optional<RelationalSpecification> spec_;
+};
+
+TEST_F(AlternationTest, ForallExists) {
+  // Every day, some resort has a plane (days >= 1).
+  EXPECT_TRUE(MustEval("forall T (exists X (plane(T, X) | plane(T+1, X)))")
+                  .boolean);
+  // Every day, EVERY resort has a plane: false.
+  EXPECT_FALSE(MustEval("forall T (forall X (~resort(X) | plane(T, X)))")
+                   .boolean);
+}
+
+TEST_F(AlternationTest, ExistsForall) {
+  // Some resort flies on all even representative days... even_resort does
+  // fly at 0 and 2k; the quantified claim "exists X forall T plane(T,X)"
+  // is false (no resort flies every day).
+  EXPECT_FALSE(MustEval("exists X (forall T (plane(T, X)))").boolean);
+  // But: exists X forall T (plane at T or T+1) — each day one of T, T+1 is
+  // the right parity... for even_resort: T odd -> T+1 even: true.
+  EXPECT_TRUE(
+      MustEval("exists X (forall T (plane(T, X) | plane(T+1, X)))").boolean);
+}
+
+TEST_F(AlternationTest, OpenQueryWithOffset) {
+  // Which X flies at X's... free temporal var under an offset:
+  // plane(U+1, odd_resort) holds for even U (1+2k = odd days).
+  QueryAnswer answer = MustEval("plane(U+1, odd_resort)");
+  ASSERT_FALSE(answer.rows.empty());
+  for (const auto& row : answer.rows) {
+    EXPECT_TRUE(row[0].temporal);
+    EXPECT_EQ(row[0].time % 2, 0) << "U must be even";
+  }
+}
+
+TEST_F(AlternationTest, DoubleNegation) {
+  EXPECT_TRUE(MustEval("~~plane(0, even_resort)").boolean);
+  EXPECT_FALSE(MustEval("~~plane(1, even_resort)").boolean);
+}
+
+TEST_F(AlternationTest, PrecedenceAndAssociativity) {
+  // '&' binds tighter than '|'.
+  EXPECT_TRUE(
+      MustEval("plane(1, even_resort) & resort(odd_resort) | "
+               "plane(0, even_resort)")
+          .boolean);
+  // With explicit parens forcing the other grouping the result flips.
+  EXPECT_FALSE(
+      MustEval("plane(1, even_resort) & (resort(odd_resort) | "
+               "plane(0, even_resort))")
+          .boolean);
+}
+
+// --------------------------------------------------------------------------
+// Engine corner cases
+// --------------------------------------------------------------------------
+
+TEST(EngineCoverageTest, FullYearPaperScenario) {
+  // The actual Section 2 parameters: 365-day year. Period = 365 exactly.
+  auto tdd = TemporalDatabase::FromSource(
+      workload::SkiScheduleSource(2, 365, 91, 13));
+  ASSERT_TRUE(tdd.ok());
+  auto spec = tdd->specification();
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ((*spec)->period().p, 365);
+  // A plane one century out answers the same as one year out.
+  EXPECT_EQ(*tdd->Ask("plane(365, resort0)"),
+            *tdd->Ask("plane(36865, resort0)"));  // 365 + 365*100
+}
+
+TEST(EngineCoverageTest, QueryBeforeSpecificationBuildsLazily) {
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource());
+  ASSERT_TRUE(tdd.ok());
+  // No explicit specification() call: Query triggers the build.
+  auto answer = tdd->Query("even(4)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->boolean);
+}
+
+TEST(EngineCoverageTest, ClassificationIsCached) {
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource());
+  ASSERT_TRUE(tdd.ok());
+  const ProgramClassification& first = tdd->classification();
+  const ProgramClassification& second = tdd->classification();
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(EngineCoverageTest, MalformedQueryTextSurfacesParseError) {
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource());
+  ASSERT_TRUE(tdd.ok());
+  EXPECT_EQ(tdd->Query("even(").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tdd->Ask("even(T)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineCoverageTest, ZeroArityPredicateEndToEnd) {
+  auto tdd = TemporalDatabase::FromSource(R"(
+    alarm(T) :- tick(T), armed.
+    tick(0..2).
+    tick(T+3) :- tick(T).
+    armed.
+  )");
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  EXPECT_TRUE(*tdd->Ask("alarm(77)"));
+  EXPECT_TRUE(*tdd->Ask("armed"));
+  auto q = tdd->Query("exists T (alarm(T))");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->boolean);
+}
+
+// --------------------------------------------------------------------------
+// Specification structure for databases with c > 0
+// --------------------------------------------------------------------------
+
+TEST(SpecCoverageTest, LateSeedShiftsRepresentatives) {
+  ParsedUnit unit = MustParse("even(10). even(T+2) :- even(T).");
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->c(), 10);
+  EXPECT_EQ(spec->period().p, 2);
+  // Representatives cover [0, b+c+p): times before the seed are all "no".
+  for (int64_t t = 0; t < 10; ++t) {
+    EXPECT_FALSE(spec->Ask(GroundAtom(
+        unit.program.vocab().FindPredicate("even"), t, {})))
+        << t;
+  }
+  for (int64_t t = 10; t < 60; t += 2) {
+    EXPECT_TRUE(spec->Ask(GroundAtom(
+        unit.program.vocab().FindPredicate("even"), t, {})))
+        << t;
+  }
+}
+
+TEST(SpecCoverageTest, MultipleSeedsInterleave) {
+  ParsedUnit unit = MustParse("p(0). p(1). p(T+4) :- p(T).");
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  PredicateId p = unit.program.vocab().FindPredicate("p");
+  FixpointOptions options;
+  options.max_time = 40;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  for (int64_t t = 0; t <= 40; ++t) {
+    EXPECT_EQ(spec->Ask(GroundAtom(p, t, {})), model->Contains(p, t, {}))
+        << t;
+  }
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+TemporalDatabase MustEngine(std::string_view src) {
+  auto tdd = TemporalDatabase::FromSource(src);
+  EXPECT_TRUE(tdd.ok()) << tdd.status();
+  return std::move(tdd).value();
+}
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  auto tdd = TemporalDatabase::FromSource("p(X).");
+  EXPECT_EQ(tdd.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, EvenEndToEnd) {
+  TemporalDatabase tdd = MustEngine(workload::EvenSource());
+  EXPECT_TRUE(*tdd.Ask("even(0)"));
+  EXPECT_FALSE(*tdd.Ask("even(7)"));
+  EXPECT_TRUE(*tdd.Ask("even(100000000)"));
+  auto spec = tdd.specification();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->period().p, 2);
+}
+
+TEST(EngineTest, SkiScheduleFromThePaper) {
+  // The paper's motivating scenario: "to verify whether a plane leaves to
+  // Hunter on a given day t0, check whether plane(t0, hunter) is implied".
+  TemporalDatabase tdd = MustEngine(workload::SkiScheduleSource(
+      /*resorts=*/2, /*year_len=*/12, /*winter_len=*/4, /*holidays=*/1));
+  // Day 0 is a holiday: planes everywhere, and daily flights follow.
+  EXPECT_TRUE(*tdd.Ask("plane(0, resort0)"));
+  EXPECT_TRUE(*tdd.Ask("plane(1, resort0)"));
+  // Classification matches the paper's Section 2 remarks.
+  EXPECT_TRUE(tdd.classification().multi_separable);
+  EXPECT_FALSE(tdd.classification().separable);
+  auto inflat = tdd.inflationary();
+  ASSERT_TRUE(inflat.ok());
+  EXPECT_FALSE(inflat->inflationary);
+  // The same infinite query through the FO interface.
+  auto answer = tdd.Query("exists T (plane(T, resort1))");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->boolean);
+}
+
+TEST(EngineTest, PathExampleQueries) {
+  TemporalDatabase tdd = MustEngine(workload::PathProgramSource() +
+                                    workload::CycleGraphFactsSource(4));
+  EXPECT_TRUE(*tdd.Ask("path(3, n0, n3)"));
+  EXPECT_FALSE(*tdd.Ask("path(2, n0, n3)"));
+  EXPECT_TRUE(*tdd.Ask("path(1000000, n3, n0)"));
+  auto inflat = tdd.inflationary();
+  ASSERT_TRUE(inflat.ok());
+  EXPECT_TRUE(inflat->inflationary);
+}
+
+TEST(EngineTest, AskBtAgreesWithSpecAsk) {
+  TemporalDatabase tdd = MustEngine(workload::TokenRingSource({2, 3}));
+  for (int64_t t : {0, 1, 5, 6, 17, 100}) {
+    std::string q = "tok(" + std::to_string(t) + ", r0_0)";
+    auto via_spec = tdd.Ask(q);
+    auto via_bt = tdd.AskBt(q);
+    ASSERT_TRUE(via_spec.ok()) << via_spec.status();
+    ASSERT_TRUE(via_bt.ok()) << via_bt.status();
+    EXPECT_EQ(*via_spec, *via_bt) << q;
+  }
+}
+
+TEST(EngineTest, AskBtWithExplicitRange) {
+  TemporalDatabase tdd = MustEngine(workload::EvenSource());
+  auto answer = tdd.AskBt("even(10)", /*range=*/2);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(*answer);
+}
+
+TEST(EngineTest, QueryOnUnknownPredicateFails) {
+  TemporalDatabase tdd = MustEngine(workload::EvenSource());
+  EXPECT_EQ(tdd.Ask("odd(1)").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, UnknownConstantIsSimplyFalse) {
+  TemporalDatabase tdd = MustEngine(workload::SkiScheduleSource(1, 12, 4, 1));
+  auto answer = tdd.Ask("plane(0, atlantis)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_FALSE(*answer);
+}
+
+TEST(EngineTest, DescribeSummarises) {
+  TemporalDatabase tdd = MustEngine(workload::EvenSource());
+  std::string text = tdd.Describe();
+  EXPECT_NE(text.find("period:           (b=0, p=2)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[exact]"), std::string::npos);
+  EXPECT_NE(text.find("not inflationary"), std::string::npos);
+}
+
+TEST(EngineTest, SpecificationBudgetErrorSurfaces) {
+  EngineOptions options;
+  options.period.max_horizon = 64;
+  auto tdd = TemporalDatabase::FromSource(
+      workload::TokenRingSource({31, 37}), options);
+  ASSERT_TRUE(tdd.ok());
+  EXPECT_EQ(tdd->Ask("tok(5, r0_0)").status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, FromParsedUnitWorks) {
+  auto unit = Parser::Parse(workload::EvenSource());
+  ASSERT_TRUE(unit.ok());
+  auto tdd = TemporalDatabase::FromParsedUnit(std::move(unit).value());
+  ASSERT_TRUE(tdd.ok());
+  EXPECT_TRUE(*tdd->Ask("even(42)"));
+}
+
+TEST(EngineTest, BinaryCounterEngine) {
+  TemporalDatabase tdd = MustEngine(workload::BinaryCounterSource(3));
+  auto spec = tdd.specification();
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ((*spec)->period().p, 8);  // 2^3
+  // bit0 of the counter toggles every step: at t=0 all bits are 0.
+  EXPECT_TRUE(*tdd.Ask("bit0(0, b0)"));
+  EXPECT_TRUE(*tdd.Ask("bit1(1, b0)"));
+  EXPECT_TRUE(*tdd.Ask("bit0(2, b0)"));
+  // Counter value at t=5 is 101: bits 0 and 2 set.
+  EXPECT_TRUE(*tdd.Ask("bit1(5, b0)"));
+  EXPECT_TRUE(*tdd.Ask("bit0(5, b1)"));
+  EXPECT_TRUE(*tdd.Ask("bit1(5, b2)"));
+  // And 8 steps later the same pattern repeats.
+  EXPECT_TRUE(*tdd.Ask("bit1(13, b0)"));
+  EXPECT_TRUE(*tdd.Ask("bit0(13, b1)"));
+  EXPECT_TRUE(*tdd.Ask("bit1(13, b2)"));
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,139 @@
+// Equality in queries — the paper's Section 8 discussion: equality is a
+// very simple query that is NOT invariant w.r.t. relational specifications,
+// because distinct ground temporal terms share a representative. chronolog
+// therefore evaluates equality only against materialised models and rejects
+// it over specifications; these tests pin both behaviours, including the
+// exact Section 8 counterexample.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/fixpoint.h"
+#include "query/query_eval.h"
+#include "query/query_parser.h"
+#include "spec/specification.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+Query MustQuery(std::string_view text, const Vocabulary& vocab) {
+  auto q = ParseQuery(text, vocab);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+class EqualityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The Section 8 TDD: p(T+1) :- p(T). p(0).  Specification:
+    // T = {0}, B = {p(0)}, W = {1 -> 0}.
+    unit_ = MustParse("p(T+1) :- p(T).\np(0).");
+    auto spec = BuildSpecification(unit_.program, unit_.database);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    spec_.emplace(std::move(spec).value());
+    FixpointOptions options;
+    options.max_time = 10;
+    auto model = SemiNaiveFixpoint(unit_.program, unit_.database, options);
+    ASSERT_TRUE(model.ok());
+    model_.emplace(std::move(model).value());
+  }
+
+  ParsedUnit unit_{Program(nullptr), Database(nullptr)};
+  std::optional<RelationalSpecification> spec_;
+  std::optional<Interpretation> model_;
+};
+
+TEST_F(EqualityTest, Section8SpecificationShape) {
+  EXPECT_EQ(spec_->num_representatives(), 1);
+  EXPECT_EQ(spec_->rewrite_lhs(), 1);
+  EXPECT_EQ(spec_->period().p, 1);
+}
+
+TEST_F(EqualityTest, GroundEqualityOverModel) {
+  Query q_true = MustQuery("3 = 3", unit_.program.vocab());
+  Query q_false = MustQuery("0 = 1", unit_.program.vocab());
+  auto yes = EvaluateQueryOverModel(q_true, *model_, 10);
+  auto no = EvaluateQueryOverModel(q_false, *model_, 10);
+  ASSERT_TRUE(yes.ok());
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(yes->boolean);
+  EXPECT_FALSE(no->boolean);
+}
+
+TEST_F(EqualityTest, Section8CounterexampleOverModel) {
+  // Over the (materialised) least model: p holds at distinct time points,
+  // so "exists T, S with p at both and T != S" is TRUE.
+  Query q = MustQuery("exists T, S (p(T) & p(S) & ~(T = S))",
+                      unit_.program.vocab());
+  auto answer = EvaluateQueryOverModel(q, *model_, 10);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->boolean);
+}
+
+TEST_F(EqualityTest, SpecificationRejectsEquality) {
+  // Over the specification the same query would come out FALSE (only one
+  // representative, y0 = y1 = 0 — exactly the paper's counterexample), so
+  // chronolog refuses to evaluate it there.
+  Query q = MustQuery("exists T, S (p(T) & p(S) & ~(T = S))",
+                      unit_.program.vocab());
+  auto answer = EvaluateQueryOverSpec(q, *spec_);
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(answer.status().message().find("Section 8"), std::string::npos);
+}
+
+TEST_F(EqualityTest, VariableOffsetEquality) {
+  Query q = MustQuery("exists T (T+2 = 5)", unit_.program.vocab());
+  auto answer = EvaluateQueryOverModel(q, *model_, 10);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->boolean);  // T = 3
+  Query q2 = MustQuery("forall T (T+1 = 4)", unit_.program.vocab());
+  auto answer2 = EvaluateQueryOverModel(q2, *model_, 10);
+  ASSERT_TRUE(answer2.ok());
+  EXPECT_FALSE(answer2->boolean);
+}
+
+TEST_F(EqualityTest, ConstantEquality) {
+  ParsedUnit unit = MustParse("friend(anna, bob).");
+  FixpointOptions options;
+  options.max_time = 0;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  Query same = MustQuery("anna = anna", unit.program.vocab());
+  Query diff = MustQuery("anna = bob", unit.program.vocab());
+  EXPECT_TRUE(EvaluateQueryOverModel(same, *model, 0)->boolean);
+  EXPECT_FALSE(EvaluateQueryOverModel(diff, *model, 0)->boolean);
+  // Free-variable equality: which X equal anna? Exactly one row.
+  Query open = MustQuery("friend(X, Y) & X = anna", unit.program.vocab());
+  auto answer = EvaluateQueryOverModel(open, *model, 0);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_EQ(answer->rows.size(), 1u);
+}
+
+TEST_F(EqualityTest, SortMismatchFails) {
+  auto q = ParseQuery("exists T (p(T) & T = anna)", unit_.program.vocab());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EqualityTest, BothSidesUnknownSortFails) {
+  auto q = ParseQuery("X = Y", unit_.program.vocab());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("sort"), std::string::npos);
+}
+
+TEST_F(EqualityTest, SortPropagatesFromAtomUse) {
+  // X's sort is settled by the atom before the equality is parsed.
+  Query q = MustQuery("exists T (p(T) & T = 0)", unit_.program.vocab());
+  auto answer = EvaluateQueryOverModel(q, *model_, 10);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->boolean);
+}
+
+}  // namespace
+}  // namespace chronolog

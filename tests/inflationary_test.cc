@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/inflationary.h"
+#include "ast/parser.h"
+#include "eval/fixpoint.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+bool MustCheck(const ParsedUnit& unit) {
+  auto report = CheckInflationary(unit.program);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return report->inflationary;
+}
+
+TEST(InflationaryTest, PathProgramIsInflationary) {
+  // The paper's Section 2 graph example "is inflationary, because of the
+  // third rule".
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::CycleGraphFactsSource(3));
+  EXPECT_TRUE(MustCheck(unit));
+}
+
+TEST(InflationaryTest, PathWithoutCopyRuleIsNot) {
+  // Dropping the copy rule `path(K+1,X,Y) :- path(K,X,Y)` breaks it.
+  ParsedUnit unit = MustParse(R"(
+    path(K, X, X)   :- node(X), null(K).
+    path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+    node(a). null(0). edge(a, a).
+  )");
+  EXPECT_FALSE(MustCheck(unit));
+}
+
+TEST(InflationaryTest, SkiScheduleIsNotInflationary) {
+  // The paper states this at the end of Section 2: with empty season
+  // relations the plane relation does not persist.
+  ParsedUnit unit = MustParse(workload::SkiScheduleSource(2, 12, 4, 1));
+  auto report = CheckInflationary(unit.program);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->inflationary);
+  // `plane` is among the failing predicates.
+  PredicateId plane = unit.program.vocab().FindPredicate("plane");
+  bool found = false;
+  for (PredicateId p : report->failing_predicates) found |= (p == plane);
+  EXPECT_TRUE(found) << report->ToString(unit.program.vocab());
+}
+
+TEST(InflationaryTest, EvenIsNotInflationary) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  EXPECT_FALSE(MustCheck(unit));
+}
+
+TEST(InflationaryTest, PureCopyRuleIsInflationary) {
+  ParsedUnit unit = MustParse("p(0, a). p(T+1, X) :- p(T, X).");
+  EXPECT_TRUE(MustCheck(unit));
+}
+
+TEST(InflationaryTest, OnlyDerivedPredicatesMatter) {
+  // `seed` is an EDB predicate (not derived); it need not persist. The
+  // derived `q` persists via its copy rule.
+  ParsedUnit unit = MustParse(R"(
+    q(T, X)   :- seed(T, X).
+    q(T+1, X) :- q(T, X).
+    seed(0, a).
+  )");
+  EXPECT_TRUE(MustCheck(unit));
+}
+
+TEST(InflationaryTest, DataOnlyClosureAlonePersistsNothing) {
+  ParsedUnit unit = MustParse(R"(
+    @temporal happy/2.
+    happy(T, X) :- happy(T, Y), friend(X, Y).
+    happy(0, anna). friend(bob, anna).
+  )");
+  EXPECT_FALSE(MustCheck(unit));
+}
+
+TEST(InflationaryTest, MultiPredicateAllMustPersist) {
+  // `a` persists but `b` does not: not inflationary.
+  ParsedUnit unit = MustParse(R"(
+    a(T+1, X) :- a(T, X).
+    b(T+1, X) :- b(T, X), gate(X).
+    a(0, u). b(0, u).
+  )");
+  EXPECT_FALSE(MustCheck(unit));
+  // Adding an unconditional copy for b fixes it.
+  ParsedUnit fixed = MustParse(R"(
+    a(T+1, X) :- a(T, X).
+    b(T+1, X) :- b(T, X), gate(X).
+    b(T+1, X) :- b(T, X).
+    a(0, u). b(0, u).
+  )");
+  EXPECT_TRUE(MustCheck(fixed));
+}
+
+TEST(InflationaryTest, IndirectPersistenceCounts) {
+  // p persists through a round-trip via q: p -> q -> p one step later.
+  ParsedUnit unit = MustParse(R"(
+    q(T, X)   :- p(T, X).
+    p(T+1, X) :- q(T, X).
+    p(0, a).
+  )");
+  auto report = CheckInflationary(unit.program);
+  ASSERT_TRUE(report.ok());
+  // p(1,a) holds via q(0,a); q(1,a) holds via p(1,a): both persist.
+  EXPECT_TRUE(report->inflationary);
+}
+
+// --------------------------------------------------------------------------
+// Semantic cross-check: the syntactic verdict of Theorem 5.2 agrees with
+// the semantic definition sampled on concrete databases.
+// --------------------------------------------------------------------------
+
+void CheckSemanticInflationary(const ParsedUnit& unit, bool expected,
+                               int64_t horizon) {
+  FixpointOptions options;
+  options.max_time = horizon;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  std::vector<PredicateId> derived = unit.program.DerivedPredicates();
+  bool semantic = true;
+  model->ForEach([&](PredicateId pred, int64_t t, const Tuple& args) {
+    if (!unit.program.vocab().predicate(pred).is_temporal) return;
+    if (std::find(derived.begin(), derived.end(), pred) == derived.end()) {
+      return;
+    }
+    if (t + 1 > horizon) return;  // beyond materialisation
+    if (!model->Contains(pred, t + 1, args)) semantic = false;
+  });
+  EXPECT_EQ(semantic, expected);
+}
+
+TEST(InflationaryTest, SemanticAgreementOnPath) {
+  std::mt19937 rng(5);
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::RandomGraphFactsSource(5, 8, &rng));
+  CheckSemanticInflationary(unit, true, 20);
+}
+
+TEST(InflationaryTest, SemanticAgreementOnEven) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  CheckSemanticInflationary(unit, false, 20);
+}
+
+// --------------------------------------------------------------------------
+// Range bound (Theorem 5.1)
+// --------------------------------------------------------------------------
+
+TEST(InflationaryTest, RangeBoundCoversObservedStates) {
+  std::mt19937 rng(11);
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::RandomGraphFactsSource(4, 6, &rng));
+  int64_t bound = InflationaryRangeBound(unit.program, unit.database);
+  // Materialise and count the actually distinct states: must be <= bound.
+  FixpointOptions options;
+  options.max_time = 30;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  std::set<std::size_t> hashes;
+  for (int64_t t = 0; t <= 30; ++t) {
+    hashes.insert(State::FromInterpretation(*model, t).Hash());
+  }
+  EXPECT_LE(static_cast<int64_t>(hashes.size()), bound);
+}
+
+TEST(InflationaryTest, RangeBoundSaturatesGracefully) {
+  // A wide schema: the bound saturates instead of overflowing.
+  std::string src = "@temporal wide/9.\n"
+                    "wide(T+1, A, B, C, D, E, F, G, H) :- "
+                    "wide(T, A, B, C, D, E, F, G, H).\n";
+  for (int i = 0; i < 200; ++i) {
+    src += "wide(0, c" + std::to_string(i) + ", c0, c0, c0, c0, c0, c0, c0).\n";
+  }
+  ParsedUnit unit = MustParse(src);
+  int64_t bound = InflationaryRangeBound(unit.program, unit.database);
+  EXPECT_GT(bound, 0);
+}
+
+}  // namespace
+}  // namespace chronolog

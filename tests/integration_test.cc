@@ -1,0 +1,164 @@
+// End-to-end integrations across modules: transformations composed with
+// period detection, engines over transformed programs, printer round-trips
+// on random programs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/normalize.h"
+#include "analysis/temporalize.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/engine.h"
+#include "spec/period.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+// --------------------------------------------------------------------------
+// Printer round-trip sweep on random programs
+// --------------------------------------------------------------------------
+
+class PrinterRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PrinterRoundTrip, PrintParsePrintIsStable) {
+  std::mt19937 rng(GetParam());
+  workload::RandomProgramOptions options;
+  options.progressive_only = (GetParam() % 2 == 0);
+  std::string src = workload::RandomProgramSource(options, &rng);
+  ParsedUnit unit = MustParse(src);
+  // Declarations pin the signatures for the reparse.
+  std::string decls;
+  for (PredicateId p : unit.program.vocab().AllPredicates()) {
+    const PredicateInfo& info = unit.program.vocab().predicate(p);
+    decls += (info.is_temporal ? "@temporal " : "@predicate ") + info.name +
+             "/" + std::to_string(info.written_arity()) + ".\n";
+  }
+  std::string printed = decls + ProgramToString(unit.program) +
+                        DatabaseToString(unit.database);
+  ParsedUnit reparsed = MustParse(printed);
+  EXPECT_EQ(ProgramToString(reparsed.program),
+            ProgramToString(unit.program));
+  EXPECT_EQ(DatabaseToString(reparsed.database),
+            DatabaseToString(unit.database));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrinterRoundTrip, ::testing::Range(0u, 15u));
+
+// --------------------------------------------------------------------------
+// Normalisation composed with period detection and the engine
+// --------------------------------------------------------------------------
+
+TEST(IntegrationTest, NormalizedProgramKeepsItsPeriodicStructure) {
+  // Normalisation preserves least models, so the periodic structure of the
+  // original vocabulary survives; the normalized program is not
+  // progressive (forward-shift rules look ahead) and exercises the
+  // verified-doubling detector.
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok());
+  auto original = DetectPeriod(unit.program, unit.database);
+  auto transformed = DetectPeriod(*normal, unit.database);
+  ASSERT_TRUE(original.ok()) << original.status();
+  ASSERT_TRUE(transformed.ok()) << transformed.status();
+  // The transformed model interleaves auxiliary predicates, so only the
+  // divisibility relation is guaranteed.
+  EXPECT_EQ(transformed->period.p % original->period.p, 0)
+      << "normalized period " << transformed->period.p
+      << " vs original " << original->period.p;
+}
+
+TEST(IntegrationTest, EngineOverNormalizedSkiAgreesOnQueries) {
+  ParsedUnit unit = MustParse(workload::SkiScheduleSource(1, 12, 4, 1));
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok());
+  auto original_engine = TemporalDatabase::FromParsedUnit(
+      ParsedUnit{unit.program, unit.database});
+  ASSERT_TRUE(original_engine.ok());
+  // Database shares the (mutated) vocabulary of the normalized program.
+  auto normalized_engine = TemporalDatabase::FromParsedUnit(
+      ParsedUnit{*normal, unit.database});
+  ASSERT_TRUE(normalized_engine.ok());
+  for (int64_t t = 0; t < 40; ++t) {
+    std::string q = "plane(" + std::to_string(t) + ", resort0)";
+    auto a = original_engine->Ask(q);
+    auto b = normalized_engine->Ask(q);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(*a, *b) << q;
+  }
+}
+
+TEST(IntegrationTest, TemporalizedDatalogThroughTheEngine) {
+  ParsedUnit datalog = MustParse(workload::TransitiveClosureDatalogSource() +
+                                 "edge(a, b). edge(b, c). edge(c, d).");
+  auto temporal = TemporalizeDatalog(datalog.program, datalog.database);
+  ASSERT_TRUE(temporal.ok());
+  auto tdd = TemporalDatabase::FromParsedUnit(std::move(temporal).value());
+  ASSERT_TRUE(tdd.ok());
+  // Stage-indexed transitive closure through the whole engine stack.
+  EXPECT_FALSE(*tdd->Ask("tc(1, a, d)"));
+  EXPECT_TRUE(*tdd->Ask("tc(3, a, d)"));
+  EXPECT_TRUE(*tdd->Ask("tc(1000, a, d)"));  // inflationary: stays true
+  auto inflat = tdd->inflationary();
+  ASSERT_TRUE(inflat.ok());
+  EXPECT_TRUE(inflat->inflationary);
+  auto proof = tdd->Explain("tc(2, a, c)");
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_NE(proof->find("edge(0, a, b)   [database]"), std::string::npos)
+      << *proof;
+}
+
+TEST(IntegrationTest, SemiNormalizationThroughDetection) {
+  // Two temporal variables -> semi-normalize -> detect.
+  ParsedUnit unit = MustParse(R"(
+    p(T+2, X) :- p(T, X), q(S, X).
+    p(0, a). q(3, a).
+  )");
+  ASSERT_FALSE(unit.program.IsSemiNormal());
+  auto semi = SemiNormalize(unit.program);
+  ASSERT_TRUE(semi.ok());
+  ASSERT_TRUE(semi->IsSemiNormal());
+  auto detection = DetectPeriod(*semi, unit.database);
+  ASSERT_TRUE(detection.ok()) << detection.status();
+  EXPECT_EQ(detection->period.p, 2);
+  // p fires at 0, 2, 4, ... because $sn0_p(a) holds.
+  EXPECT_TRUE(detection->model.Contains(
+      GroundAtom(unit.program.vocab().FindPredicate("p"), 6,
+                 {unit.program.vocab().FindConstant("a")})));
+}
+
+TEST(IntegrationTest, BinaryCounterDoublingAgreesWithForward) {
+  // Force the doubling detector on the binary counter by adding a
+  // backward scratch rule; the detected minimal period must match the
+  // exact forward detector's.
+  for (int bits = 2; bits <= 4; ++bits) {
+    ParsedUnit exact_unit =
+        MustParse(workload::BinaryCounterSource(bits));
+    auto exact = DetectPeriod(exact_unit.program, exact_unit.database);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(exact->exact);
+
+    ParsedUnit general_unit = MustParse(
+        workload::BinaryCounterSource(bits) +
+        "scratch(T) :- scratch(T+1).\nscratch(0).");
+    PeriodDetectionOptions options;
+    options.max_horizon = 1 << 12;
+    auto doubled =
+        DetectPeriod(general_unit.program, general_unit.database, options);
+    ASSERT_TRUE(doubled.ok()) << doubled.status();
+    ASSERT_FALSE(doubled->exact);
+    EXPECT_EQ(doubled->period.p, exact->period.p) << "bits=" << bits;
+  }
+}
+
+}  // namespace
+}  // namespace chronolog

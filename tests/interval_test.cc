@@ -1,0 +1,104 @@
+// The interval fact abbreviation `p(lo..hi, args)` of the paper's
+// Section 2, footnote 1.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+TEST(IntervalTest, ExpandsToOneFactPerDay) {
+  auto unit = Parser::Parse("winter(0..3).\nwinter(T+8) :- winter(T).");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->database.size(), 4u);
+  for (const GroundAtom& f : unit->database.facts()) {
+    EXPECT_GE(f.time, 0);
+    EXPECT_LE(f.time, 3);
+  }
+}
+
+TEST(IntervalTest, SingletonInterval) {
+  auto unit = Parser::Parse("p(5..5).\np(T+1) :- p(T).");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->database.size(), 1u);
+  EXPECT_EQ(unit->database.facts()[0].time, 5);
+}
+
+TEST(IntervalTest, WorksWithNonTemporalArguments) {
+  auto unit =
+      Parser::Parse("open(2..4, shop).\nopen(T+7, X) :- open(T, X).");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->database.size(), 3u);
+  for (const GroundAtom& f : unit->database.facts()) {
+    EXPECT_EQ(f.args.size(), 1u);
+  }
+}
+
+TEST(IntervalTest, PaperFootnoteSkiSeasons) {
+  // The generator now uses the footnote's abbreviation; semantics are
+  // unchanged: plane queries behave as with explicit per-day facts.
+  auto tdd = TemporalDatabase::FromSource(
+      workload::SkiScheduleSource(1, 12, 4, 1));
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  EXPECT_TRUE(*tdd->Ask("winter(0)"));
+  EXPECT_TRUE(*tdd->Ask("winter(3)"));
+  EXPECT_FALSE(*tdd->Ask("winter(4)"));
+  EXPECT_TRUE(*tdd->Ask("offseason(4)"));
+  EXPECT_TRUE(*tdd->Ask("offseason(11)"));
+  EXPECT_FALSE(*tdd->Ask("offseason(12)"));  // next year via the rule:
+  EXPECT_TRUE(*tdd->Ask("winter(12)"));      // 0 + 12
+}
+
+TEST(IntervalTest, EmptyIntervalFails) {
+  auto unit = Parser::Parse("p(5..3).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("empty interval"),
+            std::string::npos);
+}
+
+TEST(IntervalTest, HugeIntervalFails) {
+  auto unit = Parser::Parse("p(0..99999999).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("1000000"), std::string::npos);
+}
+
+TEST(IntervalTest, IntervalInRuleFails) {
+  auto unit = Parser::Parse("p(0..3).\nq(T) :- p(T), p(0..2).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("fact abbreviations"),
+            std::string::npos);
+}
+
+TEST(IntervalTest, IntervalInRuleHeadFails) {
+  auto unit = Parser::Parse("p(0..3) :- q(a).\nq(a).");
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(IntervalTest, IntervalInNonTemporalPositionFails) {
+  auto unit = Parser::Parse("edge(a, 0..3).");
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(IntervalTest, MissingUpperBoundFails) {
+  auto unit = Parser::Parse("p(0..).");
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(IntervalTest, DuplicateCoverageIsDeduplicatedDownstream) {
+  auto tdd = TemporalDatabase::FromSource(
+      "p(0..4).\np(2..6).\np(T+10) :- p(T).");
+  ASSERT_TRUE(tdd.ok());
+  // 0..6 covered once each.
+  auto spec = tdd->specification();
+  ASSERT_TRUE(spec.ok());
+  for (int64_t t = 0; t <= 6; ++t) {
+    EXPECT_TRUE(*tdd->Ask("p(" + std::to_string(t) + ")")) << t;
+  }
+  EXPECT_FALSE(*tdd->Ask("p(7)"));
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "ast/lexer.h"
+
+namespace chronolog {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, SimpleFact) {
+  auto tokens = Tokenize("plane(0, hunter).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kInt,
+                TokenKind::kComma, TokenKind::kIdent, TokenKind::kRParen,
+                TokenKind::kDot, TokenKind::kEof}));
+  EXPECT_EQ((*tokens)[0].text, "plane");
+  EXPECT_EQ((*tokens)[2].int_value, 0u);
+  EXPECT_EQ((*tokens)[4].text, "hunter");
+}
+
+TEST(LexerTest, RuleWithOffset) {
+  auto tokens = Tokenize("even(T+2) :- even(T).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kVar,
+                TokenKind::kPlus, TokenKind::kInt, TokenKind::kRParen,
+                TokenKind::kColonDash, TokenKind::kIdent, TokenKind::kLParen,
+                TokenKind::kVar, TokenKind::kRParen, TokenKind::kDot,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, VariablesStartUpperOrUnderscore) {
+  auto tokens = Tokenize("T X _x foo Foo");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kVar);
+}
+
+TEST(LexerTest, PercentCommentsSkipToEol) {
+  auto tokens = Tokenize("a. % comment with stuff :- ,()\nb.");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // a . b . eof
+  EXPECT_EQ((*tokens)[2].text, "b");
+}
+
+TEST(LexerTest, SlashSlashComments) {
+  auto tokens = Tokenize("a. // note\nb.");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+}
+
+TEST(LexerTest, QuotedConstants) {
+  auto tokens = Tokenize("resort('Hunter Mountain').");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[2].text, "Hunter Mountain");
+}
+
+TEST(LexerTest, UnterminatedQuoteFails) {
+  auto tokens = Tokenize("resort('Hunter).");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, DirectiveAndQueryTokens) {
+  auto tokens = Tokenize("@temporal p/2. a & b | ~c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kAt);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kSlash);
+  std::vector<TokenKind> kinds = Kinds(*tokens);
+  std::vector<TokenKind> tail(kinds.end() - 7, kinds.end());
+  EXPECT_EQ(tail, (std::vector<TokenKind>{
+                      TokenKind::kIdent, TokenKind::kAmp, TokenKind::kIdent,
+                      TokenKind::kPipe, TokenKind::kTilde, TokenKind::kIdent,
+                      TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Tokenize("a.\n  b.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[2].line, 2);
+  EXPECT_EQ((*tokens)[2].column, 3);
+}
+
+TEST(LexerTest, IntegerOverflowFails) {
+  auto tokens = Tokenize("p(99999999999999999999999999).");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, LoneColonFails) {
+  auto tokens = Tokenize("a : b");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  auto tokens = Tokenize("a # b");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("'#'"), std::string::npos);
+}
+
+TEST(LexerTest, TokenKindNamesAreStable) {
+  EXPECT_EQ(TokenKindToString(TokenKind::kColonDash), "':-'");
+  EXPECT_EQ(TokenKindToString(TokenKind::kEof), "end of input");
+}
+
+}  // namespace
+}  // namespace chronolog

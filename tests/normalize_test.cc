@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.h"
+#include "analysis/normalize.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "eval/fixpoint.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+/// Asserts that `transformed` has the same least model as `original` when
+/// restricted to the original vocabulary, on the segment `[0, compare_to]`.
+/// `eval_to` gives the transformed program slack for auxiliary look-ahead
+/// predicates near the truncation boundary.
+void ExpectEquivalent(const Program& original, const Program& transformed,
+                      const Database& db, int64_t compare_to,
+                      int64_t eval_to) {
+  FixpointOptions orig_options;
+  orig_options.max_time = compare_to;
+  auto original_model = SemiNaiveFixpoint(original, db, orig_options);
+  ASSERT_TRUE(original_model.ok()) << original_model.status();
+
+  FixpointOptions trans_options;
+  trans_options.max_time = eval_to;
+  auto transformed_model = SemiNaiveFixpoint(transformed, db, trans_options);
+  ASSERT_TRUE(transformed_model.ok()) << transformed_model.status();
+
+  // Compare per original predicate (auxiliary $-predicates are ignored).
+  const Vocabulary& vocab = original.vocab();
+  bool same = true;
+  original_model->ForEach(
+      [&](PredicateId pred, int64_t t, const Tuple& args) {
+        if (!transformed_model->Contains(pred, t, args)) {
+          same = false;
+          ADD_FAILURE() << "missing in transformed: "
+                        << GroundAtomToString(GroundAtom(pred, t, args),
+                                              vocab);
+        }
+      });
+  transformed_model->ForEach(
+      [&](PredicateId pred, int64_t t, const Tuple& args) {
+        if (vocab.predicate(pred).name[0] == '$') return;
+        if (t > compare_to) return;
+        if (!original_model->Contains(pred, t, args)) {
+          same = false;
+          ADD_FAILURE() << "extra in transformed: "
+                        << GroundAtomToString(GroundAtom(pred, t, args),
+                                              vocab);
+        }
+      });
+  EXPECT_TRUE(same);
+}
+
+// --------------------------------------------------------------------------
+// SemiNormalize
+// --------------------------------------------------------------------------
+
+TEST(SemiNormalizeTest, AlreadySemiNormalIsUntouched) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  auto semi = SemiNormalize(unit.program);
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(ProgramToString(*semi), ProgramToString(unit.program));
+}
+
+TEST(SemiNormalizeTest, FactorsOutSecondTemporalVariable) {
+  // "q was ever true (at depth >= 1) for X" is existential in S.
+  ParsedUnit unit = MustParse(R"(
+    p(T+1, X) :- p(T, X), q(S+1, X).
+    p(0, a). q(3, a). q(0, b). p(0, b).
+  )");
+  ASSERT_FALSE(unit.program.IsSemiNormal());
+  auto semi = SemiNormalize(unit.program);
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  EXPECT_TRUE(semi->IsSemiNormal());
+  // One auxiliary definition rule was added.
+  EXPECT_EQ(semi->rules().size(), 2u);
+  ExpectEquivalent(unit.program, *semi, unit.database, /*compare_to=*/8,
+                   /*eval_to=*/8);
+}
+
+TEST(SemiNormalizeTest, PreservesModelWithMultipleClusters) {
+  ParsedUnit unit = MustParse(R"(
+    r(T, X) :- a(T, X), b(S, X), c(U, X).
+    a(0, k). a(1, k). b(2, k). c(5, k).
+    r(0, z).
+  )");
+  ASSERT_FALSE(unit.program.IsSemiNormal());
+  auto semi = SemiNormalize(unit.program);
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  EXPECT_TRUE(semi->IsSemiNormal());
+  ExpectEquivalent(unit.program, *semi, unit.database, 8, 8);
+}
+
+TEST(SemiNormalizeTest, KeepsHeadTemporalVariable) {
+  ParsedUnit unit = MustParse(R"(
+    p(T+1) :- p(T), q(S).
+    p(0). q(4).
+  )");
+  auto semi = SemiNormalize(unit.program);
+  ASSERT_TRUE(semi.ok());
+  EXPECT_TRUE(semi->IsSemiNormal());
+  // The rewritten recursive rule still has its original head.
+  bool found = false;
+  for (const Rule& rule : semi->rules()) {
+    if (semi->vocab().predicate(rule.head.pred).name == "p" &&
+        rule.head.time->offset == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  ExpectEquivalent(unit.program, *semi, unit.database, 10, 10);
+}
+
+// --------------------------------------------------------------------------
+// Normalize
+// --------------------------------------------------------------------------
+
+TEST(NormalizeTest, EvenBecomesNormal) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  ASSERT_FALSE(unit.program.IsNormal());
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok()) << normal.status();
+  EXPECT_TRUE(normal->IsNormal());
+  ExpectEquivalent(unit.program, *normal, unit.database, /*compare_to=*/12,
+                   /*eval_to=*/16);
+}
+
+TEST(NormalizeTest, DeepHeadIsStaged) {
+  ParsedUnit unit = MustParse("p(T+4, X) :- p(T, X).\np(0, a).");
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok()) << normal.status();
+  EXPECT_TRUE(normal->IsNormal());
+  // Chain predicates $nf...: 4 stages -> 4 extra rules.
+  EXPECT_EQ(normal->rules().size(), 5u);
+  ExpectEquivalent(unit.program, *normal, unit.database, 16, 24);
+}
+
+TEST(NormalizeTest, DeepBodyUsesForwardShifts) {
+  ParsedUnit unit = MustParse(R"(
+    alarm(T+1) :- tick(T), tick(T+3).
+    tick(0). tick(3). tick(6). alarm(0).
+  )");
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok()) << normal.status();
+  EXPECT_TRUE(normal->IsNormal());
+  // Forward shifts look ahead, so evaluate with slack before comparing.
+  ExpectEquivalent(unit.program, *normal, unit.database, /*compare_to=*/8,
+                   /*eval_to=*/14);
+}
+
+TEST(NormalizeTest, SkiScheduleNormalizes) {
+  ParsedUnit unit = MustParse(workload::SkiScheduleSource(1, 12, 4, 1));
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok()) << normal.status();
+  EXPECT_TRUE(normal->IsNormal());
+  ExpectEquivalent(unit.program, *normal, unit.database, /*compare_to=*/30,
+                   /*eval_to=*/60);
+}
+
+TEST(NormalizeTest, NormalizationCanIntroduceMutualRecursion) {
+  // The paper remarks (Section 6) that normalisation may break
+  // multi-separability by introducing mutual recursion.
+  ParsedUnit unit = MustParse("p(T+2) :- p(T).\np(0).");
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok());
+  DependencyGraph graph(*normal);
+  EXPECT_TRUE(graph.HasMutualRecursion());
+}
+
+TEST(NormalizeTest, NormalInputIsUntouched) {
+  ParsedUnit unit = MustParse("p(T+1, X) :- p(T, X).\np(0, a).");
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(ProgramToString(*normal), ProgramToString(unit.program));
+}
+
+TEST(NormalizeTest, CombinedSemiNormalizeAndNormalize) {
+  // Two temporal variables *and* deep offsets.
+  ParsedUnit unit = MustParse(R"(
+    p(T+3, X) :- p(T, X), q(S+2, X).
+    p(0, a). q(2, a). q(7, b). p(1, b).
+  )");
+  auto normal = Normalize(unit.program);
+  ASSERT_TRUE(normal.ok()) << normal.status();
+  EXPECT_TRUE(normal->IsNormal());
+  ExpectEquivalent(unit.program, *normal, unit.database, 12, 20);
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/engine.h"
+#include "eval/fixpoint.h"
+#include "eval/provenance.h"
+#include "query/query_parser.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+ProofForest MustForest(const ParsedUnit& unit, int64_t max_time) {
+  FixpointOptions options;
+  options.max_time = max_time;
+  auto forest = MaterializeWithProvenance(unit.program, unit.database,
+                                          options);
+  EXPECT_TRUE(forest.ok()) << forest.status();
+  return std::move(forest).value();
+}
+
+GroundAtom MustGround(const ParsedUnit& unit, std::string_view text) {
+  auto atom = ParseGroundAtom(text, unit.program.vocab());
+  EXPECT_TRUE(atom.ok()) << atom.status();
+  return std::move(atom).value();
+}
+
+TEST(ProvenanceTest, ForestMatchesFixpoint) {
+  std::mt19937 rng(3);
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::RandomGraphFactsSource(5, 9, &rng));
+  const int64_t horizon = 10;
+  ProofForest forest = MustForest(unit, horizon);
+  FixpointOptions options;
+  options.max_time = horizon;
+  auto model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  ASSERT_TRUE(model.ok());
+  // Same set of facts in both directions.
+  EXPECT_EQ(forest.size(), model->size());
+  model->ForEach([&](PredicateId pred, int64_t t, const Tuple& args) {
+    EXPECT_TRUE(forest.Contains(GroundAtom(pred, t, args)));
+  });
+}
+
+TEST(ProvenanceTest, ProofsAreWellFormed) {
+  std::mt19937 rng(4);
+  ParsedUnit unit = MustParse(workload::PathProgramSource() +
+                              workload::RandomGraphFactsSource(5, 9, &rng));
+  ProofForest forest = MustForest(unit, 8);
+  for (std::size_t id = 0; id < forest.nodes().size(); ++id) {
+    const ProofNode& node = forest.nodes()[id];
+    if (node.rule_index < 0) {
+      EXPECT_TRUE(node.premises.empty());
+      continue;
+    }
+    const Rule& rule =
+        unit.program.rules()[static_cast<std::size_t>(node.rule_index)];
+    // The head predicate matches the rule, one premise per body atom, and
+    // premises strictly precede the node (well-foundedness).
+    EXPECT_EQ(node.fact.pred, rule.head.pred);
+    ASSERT_EQ(node.premises.size(), rule.body.size());
+    for (std::size_t b = 0; b < node.premises.size(); ++b) {
+      ASSERT_LT(node.premises[b], id);
+      EXPECT_EQ(forest.nodes()[node.premises[b]].fact.pred,
+                rule.body[b].pred);
+    }
+  }
+}
+
+TEST(ProvenanceTest, DatabaseFactsAreLeaves) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  ProofForest forest = MustForest(unit, 6);
+  std::size_t id = forest.Find(MustGround(unit, "even(0)"));
+  ASSERT_NE(id, ProofForest::kNotFound);
+  EXPECT_EQ(forest.nodes()[id].rule_index, -1);
+}
+
+TEST(ProvenanceTest, ExplainRendersChain) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  ProofForest forest = MustForest(unit, 6);
+  auto proof = forest.Explain(MustGround(unit, "even(4)"), unit.program);
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_NE(proof->find("even(4)"), std::string::npos) << *proof;
+  EXPECT_NE(proof->find("even(2)"), std::string::npos);
+  EXPECT_NE(proof->find("even(0)   [database]"), std::string::npos);
+  EXPECT_NE(proof->find("by rule: even(T+2) :- even(T)."), std::string::npos);
+}
+
+TEST(ProvenanceTest, ExplainUnprovableFactFails) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  ProofForest forest = MustForest(unit, 6);
+  auto proof = forest.Explain(MustGround(unit, "even(3)"), unit.program);
+  EXPECT_EQ(proof.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProvenanceTest, MaxDepthTruncates) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  ProofForest forest = MustForest(unit, 20);
+  auto proof = forest.Explain(MustGround(unit, "even(20)"), unit.program,
+                              /*max_depth=*/3);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_NE(proof->find("..."), std::string::npos);
+  EXPECT_EQ(proof->find("even(0)"), std::string::npos);
+}
+
+TEST(ProvenanceTest, DataOnlyRulesGetProofsWithinTimestep) {
+  ParsedUnit unit = MustParse(R"(
+    @temporal happy/2.
+    happy(T, X) :- happy(T, Y), friend(X, Y).
+    happy(0, anna). friend(bob, anna). friend(carl, bob).
+  )");
+  ProofForest forest = MustForest(unit, 2);
+  auto proof =
+      forest.Explain(MustGround(unit, "happy(0, carl)"), unit.program);
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_NE(proof->find("happy(0, bob)"), std::string::npos) << *proof;
+  EXPECT_NE(proof->find("happy(0, anna)   [database]"), std::string::npos);
+}
+
+TEST(ProvenanceTest, MaxFactsGuard) {
+  ParsedUnit unit = MustParse("p(T+1) :- p(T).\np(0).");
+  FixpointOptions options;
+  options.max_time = 1000;
+  options.max_facts = 10;
+  auto forest =
+      MaterializeWithProvenance(unit.program, unit.database, options);
+  EXPECT_EQ(forest.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --------------------------------------------------------------------------
+// Engine-level Explain
+// --------------------------------------------------------------------------
+
+TEST(ExplainTest, EngineExplainsRepresentativeAtom) {
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource());
+  ASSERT_TRUE(tdd.ok());
+  auto proof = tdd->Explain("even(0)");
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_NE(proof->find("[database]"), std::string::npos);
+}
+
+TEST(ExplainTest, EngineRewritesDeepAtomsFirst) {
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource());
+  ASSERT_TRUE(tdd.ok());
+  auto proof = tdd->Explain("even(1000000)");
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_NE(proof->find("rewrites (W) to its representative"),
+            std::string::npos)
+      << *proof;
+  EXPECT_NE(proof->find("even(0)"), std::string::npos);
+}
+
+TEST(ExplainTest, EngineExplainFailsForFalseAtoms) {
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource());
+  ASSERT_TRUE(tdd.ok());
+  EXPECT_EQ(tdd->Explain("even(3)").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExplainTest, SkiScheduleProofMentionsSeasons) {
+  auto tdd = TemporalDatabase::FromSource(
+      workload::SkiScheduleSource(1, 12, 4, 1));
+  ASSERT_TRUE(tdd.ok());
+  ASSERT_TRUE(tdd->Ask("plane(3, resort0)").ok());
+  auto proof = tdd->Explain("plane(3, resort0)");
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  // plane(3) comes from plane(1) via the winter rule; plane(1) from the
+  // holiday rule.
+  EXPECT_NE(proof->find("winter"), std::string::npos) << *proof;
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "analysis/slice.h"
+#include "ast/parser.h"
+#include "eval/fixpoint.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+PredicateId Pred(const ParsedUnit& unit, std::string_view name) {
+  PredicateId id = unit.program.vocab().FindPredicate(name);
+  EXPECT_NE(id, kInvalidPredicate);
+  return id;
+}
+
+TEST(SliceTest, DropsIrrelevantRules) {
+  ParsedUnit unit = MustParse(R"(
+    a(T+1) :- a(T).
+    b(T+1) :- b(T).
+    c(T) :- a(T).
+    a(0). b(0). c(0).
+  )");
+  auto slice = SliceForGoals(unit.program, {Pred(unit, "c")});
+  ASSERT_TRUE(slice.ok()) << slice.status();
+  // c depends on a but not on b.
+  EXPECT_EQ(slice->program.rules().size(), 2u);
+  EXPECT_EQ(slice->relevant.size(), 2u);
+  for (const Rule& rule : slice->program.rules()) {
+    EXPECT_NE(unit.program.vocab().predicate(rule.head.pred).name, "b");
+  }
+}
+
+TEST(SliceTest, ClosureFollowsBodies) {
+  ParsedUnit unit = MustParse(R"(
+    top(T) :- mid(T).
+    mid(T) :- base(T).
+    base(T+1) :- base(T).
+    other(T+1) :- other(T).
+    base(0). other(0). top(0).
+  )");
+  auto slice = SliceForGoals(unit.program, {Pred(unit, "top")});
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->relevant.size(), 3u);  // top, mid, base
+  EXPECT_EQ(slice->program.rules().size(), 3u);
+}
+
+TEST(SliceTest, SlicedModelAgreesOnRelevantPredicates) {
+  std::mt19937 rng(77);
+  ParsedUnit unit = MustParse(
+      workload::PathProgramSource() +
+      workload::RandomGraphFactsSource(5, 8, &rng) +
+      "unrelated(T+1, X) :- unrelated(T, X).\nunrelated(0, z).\n");
+  PredicateId path = Pred(unit, "path");
+  auto slice = SliceForGoals(unit.program, {path});
+  ASSERT_TRUE(slice.ok());
+  Database sliced_db = SliceDatabase(unit.database, slice->relevant);
+  EXPECT_LT(sliced_db.size(), unit.database.size());
+
+  FixpointOptions options;
+  options.max_time = 10;
+  auto full_model = SemiNaiveFixpoint(unit.program, unit.database, options);
+  auto slice_model =
+      SemiNaiveFixpoint(slice->program, sliced_db, options);
+  ASSERT_TRUE(full_model.ok());
+  ASSERT_TRUE(slice_model.ok());
+  // Identical extension for every relevant predicate, in both directions.
+  full_model->ForEach([&](PredicateId pred, int64_t t, const Tuple& args) {
+    if (!std::binary_search(slice->relevant.begin(), slice->relevant.end(),
+                            pred)) {
+      return;
+    }
+    EXPECT_TRUE(slice_model->Contains(pred, t, args));
+  });
+  slice_model->ForEach([&](PredicateId pred, int64_t t, const Tuple& args) {
+    EXPECT_TRUE(full_model->Contains(pred, t, args));
+  });
+  // And the unrelated predicate is really gone from the slice.
+  EXPECT_FALSE(slice_model->Contains(
+      GroundAtom(Pred(unit, "unrelated"), 0,
+                 {unit.program.vocab().FindConstant("z")})));
+}
+
+TEST(SliceTest, GoalWithNoRulesKeepsOnlyEdb) {
+  ParsedUnit unit = MustParse("p(T+1) :- p(T).\np(0). q(3).");
+  auto slice = SliceForGoals(unit.program, {Pred(unit, "q")});
+  ASSERT_TRUE(slice.ok());
+  EXPECT_TRUE(slice->program.rules().empty());
+  EXPECT_EQ(slice->relevant.size(), 1u);
+}
+
+TEST(SliceTest, UnknownGoalFails) {
+  ParsedUnit unit = MustParse("p(0).");
+  auto slice = SliceForGoals(unit.program, {12345});
+  EXPECT_EQ(slice.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SliceTest, MultipleGoals) {
+  ParsedUnit unit = MustParse(R"(
+    a(T) :- x(T).
+    b(T) :- y(T).
+    c(T) :- z(T).
+    x(0). y(0). z(0). a(0). b(0). c(0).
+  )");
+  auto slice =
+      SliceForGoals(unit.program, {Pred(unit, "a"), Pred(unit, "b")});
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->program.rules().size(), 2u);
+  EXPECT_EQ(slice->relevant.size(), 4u);  // a, b, x, y
+}
+
+}  // namespace
+}  // namespace chronolog

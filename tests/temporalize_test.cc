@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/inflationary.h"
+#include "analysis/temporalize.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "eval/forward.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+ParsedUnit MustTemporalize(std::string_view src) {
+  ParsedUnit unit = MustParse(src);
+  auto out = TemporalizeDatalog(unit.program, unit.database);
+  EXPECT_TRUE(out.ok()) << out.status();
+  return std::move(out).value();
+}
+
+TEST(TemporalizeTest, StructureMatchesTheorem62) {
+  // Paper example: a(X,Z) :- p(X,Y), a(Y,Z).  becomes
+  //                a(T+1,X,Z) :- p(T,X,Y), a(T,Y,Z).  plus copy rules.
+  ParsedUnit out = MustTemporalize(
+      "a(X, Z) :- p(X, Y), a(Y, Z).\np(b, c). a(d1, d2).");
+  // 1 counting rule + 2 copy rules (a and p).
+  EXPECT_EQ(out.program.rules().size(), 3u);
+  const Vocabulary& vocab = out.program.vocab();
+  EXPECT_TRUE(vocab.predicate(vocab.FindPredicate("a")).is_temporal);
+  EXPECT_TRUE(vocab.predicate(vocab.FindPredicate("p")).is_temporal);
+  // All database tuples now carry temporal argument 0.
+  for (const GroundAtom& f : out.database.facts()) {
+    EXPECT_EQ(f.time, 0);
+  }
+  // The counting rule reads at T and writes at T+1.
+  const Rule& counting = out.program.rules()[0];
+  EXPECT_EQ(counting.head.time->offset, 1);
+  for (const Atom& atom : counting.body) {
+    EXPECT_EQ(atom.time->offset, 0);
+  }
+}
+
+TEST(TemporalizeTest, CopyRulesMakeItInflationary) {
+  ParsedUnit out = MustTemporalize(workload::TransitiveClosureDatalogSource() +
+                                   "edge(a, b).");
+  auto report = CheckInflationary(out.program);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->inflationary);
+}
+
+TEST(TemporalizeTest, TemporalizedIsProgressive) {
+  ParsedUnit out = MustTemporalize(workload::BoundedDatalogSource() +
+                                   "edge(a, b). edge(b, c).");
+  EXPECT_TRUE(CheckProgressive(out.program).progressive);
+}
+
+TEST(TemporalizeTest, StateAtKEqualsIterationK) {
+  // M[k] of the temporalised program = T_S^k(D) of the original program:
+  // tc over a chain converges level by level.
+  ParsedUnit out = MustTemporalize(workload::TransitiveClosureDatalogSource() +
+                                   "edge(a, b). edge(b, c). edge(c, d).");
+  auto run = ForwardSimulate(out.program, out.database);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const Vocabulary& vocab = out.program.vocab();
+  PredicateId tc = vocab.FindPredicate("tc");
+  SymbolId a = vocab.FindConstant("a");
+  SymbolId c = vocab.FindConstant("c");
+  SymbolId d = vocab.FindConstant("d");
+  // tc(a,c) needs two iterations; tc(a,d) three.
+  EXPECT_FALSE(run->model.Contains(tc, 1, {a, c}));
+  EXPECT_TRUE(run->model.Contains(tc, 2, {a, c}));
+  EXPECT_FALSE(run->model.Contains(tc, 2, {a, d}));
+  EXPECT_TRUE(run->model.Contains(tc, 3, {a, d}));
+}
+
+TEST(TemporalizeTest, BoundedDatalogYieldsDatabaseIndependentPeriod) {
+  // Strongly bounded S => S' is I-periodic with I-period (k, 1): the
+  // detected period is p = 1 with b bounded by a constant, across growing
+  // databases.
+  for (int n : {3, 6, 12, 24}) {
+    std::string edges;
+    for (int i = 0; i + 1 < n; ++i) {
+      edges += "edge(v" + std::to_string(i) + ", v" + std::to_string(i + 1) +
+               ").\n";
+    }
+    ParsedUnit out =
+        MustTemporalize(workload::BoundedDatalogSource() + edges);
+    auto run = ForwardSimulate(out.program, out.database);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->period.p, 1) << n;
+    EXPECT_LE(run->period.b, 3) << n;  // 2 iterations + slack, regardless of n
+  }
+}
+
+TEST(TemporalizeTest, UnboundedDatalogPeriodOnsetGrowsWithDiameter) {
+  // Transitive closure over a chain of length n needs ~n iterations: the
+  // periodicity onset b grows with the database. (p stays 1 because the
+  // copy rules make S' inflationary.)
+  int64_t previous_b = -1;
+  for (int n : {4, 8, 16}) {
+    std::string edges;
+    for (int i = 0; i + 1 < n; ++i) {
+      edges += "edge(v" + std::to_string(i) + ", v" + std::to_string(i + 1) +
+               ").\n";
+    }
+    ParsedUnit out = MustTemporalize(
+        workload::TransitiveClosureDatalogSource() + edges);
+    auto run = ForwardSimulate(out.program, out.database);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->period.p, 1);
+    EXPECT_GT(run->period.b, previous_b) << n;
+    previous_b = run->period.b;
+  }
+}
+
+TEST(TemporalizeTest, TemporalInputIsRejected) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  auto out = TemporalizeDatalog(unit.program, unit.database);
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TemporalizeTest, RoundTripThroughPrinterParses) {
+  ParsedUnit out = MustTemporalize(workload::TransitiveClosureDatalogSource() +
+                                   "edge(a, b).");
+  std::string text =
+      ProgramToString(out.program) + DatabaseToString(out.database);
+  auto reparsed = Parser::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  EXPECT_EQ(reparsed->program.rules().size(), out.program.rules().size());
+}
+
+}  // namespace
+}  // namespace chronolog

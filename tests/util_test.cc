@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/symbol_table.h"
+
+namespace chronolog {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rule");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return NotFoundError("inner"); };
+  auto outer = [&]() -> Status {
+    CHRONOLOG_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, StatusCodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+}
+
+// --------------------------------------------------------------------------
+// Result<T>
+// --------------------------------------------------------------------------
+
+TEST(ResultTest, CarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, CarriesError) {
+  Result<int> r(NotFoundError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r(Status::Ok());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto inner = []() -> Result<int> { return 5; };
+  auto outer = [&]() -> Result<int> {
+    CHRONOLOG_ASSIGN_OR_RETURN(int x, inner());
+    return x + 1;
+  };
+  ASSERT_TRUE(outer().ok());
+  EXPECT_EQ(outer().value(), 6);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return OutOfRangeError("deep"); };
+  auto outer = [&]() -> Result<int> {
+    CHRONOLOG_ASSIGN_OR_RETURN(int x, inner());
+    return x + 1;
+  };
+  EXPECT_EQ(outer().status().code(), StatusCode::kOutOfRange);
+}
+
+// --------------------------------------------------------------------------
+// SymbolTable
+// --------------------------------------------------------------------------
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("hunter");
+  SymbolId b = table.Intern("hunter");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTableTest, DistinctNamesDistinctIds) {
+  SymbolTable table;
+  SymbolId a = table.Intern("a");
+  SymbolId b = table.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Name(a), "a");
+  EXPECT_EQ(table.Name(b), "b");
+}
+
+TEST(SymbolTableTest, FindWithoutInterning) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("ghost"), kInvalidSymbol);
+  SymbolId a = table.Intern("real");
+  EXPECT_EQ(table.Find("real"), a);
+  EXPECT_TRUE(table.Contains("real"));
+  EXPECT_FALSE(table.Contains("ghost"));
+}
+
+TEST(SymbolTableTest, ManySymbolsStayStable) {
+  SymbolTable table;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(table.Intern("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Name(ids[i]), "sym" + std::to_string(i));
+  }
+}
+
+// --------------------------------------------------------------------------
+// string_util / hash
+// --------------------------------------------------------------------------
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-1"));
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("x", &v));
+}
+
+TEST(HashTest, VectorHashDistinguishesOrder) {
+  VectorHash h;
+  std::vector<uint32_t> a{1, 2};
+  std::vector<uint32_t> b{2, 1};
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(HashTest, VectorHashDistinguishesLength) {
+  VectorHash h;
+  std::vector<uint32_t> a{1};
+  std::vector<uint32_t> b{1, 0};
+  EXPECT_NE(h(a), h(b));
+}
+
+}  // namespace
+}  // namespace chronolog
