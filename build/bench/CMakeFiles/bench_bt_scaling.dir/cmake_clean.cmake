@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bt_scaling.dir/bench_bt_scaling.cc.o"
+  "CMakeFiles/bench_bt_scaling.dir/bench_bt_scaling.cc.o.d"
+  "bench_bt_scaling"
+  "bench_bt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_ablation.dir/bench_eval_ablation.cc.o"
+  "CMakeFiles/bench_eval_ablation.dir/bench_eval_ablation.cc.o.d"
+  "bench_eval_ablation"
+  "bench_eval_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inflationary_check.dir/bench_inflationary_check.cc.o"
+  "CMakeFiles/bench_inflationary_check.dir/bench_inflationary_check.cc.o.d"
+  "bench_inflationary_check"
+  "bench_inflationary_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inflationary_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multisep.dir/bench_multisep.cc.o"
+  "CMakeFiles/bench_multisep.dir/bench_multisep.cc.o.d"
+  "bench_multisep"
+  "bench_multisep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multisep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

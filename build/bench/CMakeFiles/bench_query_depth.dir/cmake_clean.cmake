@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_depth.dir/bench_query_depth.cc.o"
+  "CMakeFiles/bench_query_depth.dir/bench_query_depth.cc.o.d"
+  "bench_query_depth"
+  "bench_query_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

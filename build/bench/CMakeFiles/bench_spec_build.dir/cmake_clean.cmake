@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_build.dir/bench_spec_build.cc.o"
+  "CMakeFiles/bench_spec_build.dir/bench_spec_build.cc.o.d"
+  "bench_spec_build"
+  "bench_spec_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporalize.dir/bench_temporalize.cc.o"
+  "CMakeFiles/bench_temporalize.dir/bench_temporalize.cc.o.d"
+  "bench_temporalize"
+  "bench_temporalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

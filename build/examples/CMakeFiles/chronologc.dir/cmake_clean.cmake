@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronologc.dir/chronologc.cpp.o"
+  "CMakeFiles/chronologc.dir/chronologc.cpp.o.d"
+  "chronologc"
+  "chronologc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronologc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_schedule.dir/flight_schedule.cpp.o"
+  "CMakeFiles/flight_schedule.dir/flight_schedule.cpp.o.d"
+  "flight_schedule"
+  "flight_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tddsh.dir/tddsh.cpp.o"
+  "CMakeFiles/tddsh.dir/tddsh.cpp.o.d"
+  "tddsh"
+  "tddsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tddsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/boundedness.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/boundedness.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/boundedness.cc.o.d"
+  "/root/repo/src/analysis/classify.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/classify.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/classify.cc.o.d"
+  "/root/repo/src/analysis/depgraph.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/depgraph.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/depgraph.cc.o.d"
+  "/root/repo/src/analysis/inflationary.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/inflationary.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/inflationary.cc.o.d"
+  "/root/repo/src/analysis/iperiod.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/iperiod.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/iperiod.cc.o.d"
+  "/root/repo/src/analysis/normalize.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/normalize.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/normalize.cc.o.d"
+  "/root/repo/src/analysis/slice.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/slice.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/slice.cc.o.d"
+  "/root/repo/src/analysis/temporalize.cc" "src/analysis/CMakeFiles/chronolog_analysis.dir/temporalize.cc.o" "gcc" "src/analysis/CMakeFiles/chronolog_analysis.dir/temporalize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/chronolog_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/chronolog_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chronolog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/chronolog_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronolog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_analysis.dir/boundedness.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/boundedness.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/classify.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/classify.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/depgraph.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/depgraph.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/inflationary.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/inflationary.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/iperiod.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/iperiod.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/normalize.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/normalize.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/slice.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/slice.cc.o.d"
+  "CMakeFiles/chronolog_analysis.dir/temporalize.cc.o"
+  "CMakeFiles/chronolog_analysis.dir/temporalize.cc.o.d"
+  "libchronolog_analysis.a"
+  "libchronolog_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

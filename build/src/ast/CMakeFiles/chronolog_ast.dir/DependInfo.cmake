@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/lexer.cc" "src/ast/CMakeFiles/chronolog_ast.dir/lexer.cc.o" "gcc" "src/ast/CMakeFiles/chronolog_ast.dir/lexer.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/ast/CMakeFiles/chronolog_ast.dir/parser.cc.o" "gcc" "src/ast/CMakeFiles/chronolog_ast.dir/parser.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/ast/CMakeFiles/chronolog_ast.dir/printer.cc.o" "gcc" "src/ast/CMakeFiles/chronolog_ast.dir/printer.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/ast/CMakeFiles/chronolog_ast.dir/program.cc.o" "gcc" "src/ast/CMakeFiles/chronolog_ast.dir/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/ast/CMakeFiles/chronolog_ast.dir/rule.cc.o" "gcc" "src/ast/CMakeFiles/chronolog_ast.dir/rule.cc.o.d"
+  "/root/repo/src/ast/vocabulary.cc" "src/ast/CMakeFiles/chronolog_ast.dir/vocabulary.cc.o" "gcc" "src/ast/CMakeFiles/chronolog_ast.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chronolog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

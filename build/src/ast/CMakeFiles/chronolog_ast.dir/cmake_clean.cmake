@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_ast.dir/lexer.cc.o"
+  "CMakeFiles/chronolog_ast.dir/lexer.cc.o.d"
+  "CMakeFiles/chronolog_ast.dir/parser.cc.o"
+  "CMakeFiles/chronolog_ast.dir/parser.cc.o.d"
+  "CMakeFiles/chronolog_ast.dir/printer.cc.o"
+  "CMakeFiles/chronolog_ast.dir/printer.cc.o.d"
+  "CMakeFiles/chronolog_ast.dir/program.cc.o"
+  "CMakeFiles/chronolog_ast.dir/program.cc.o.d"
+  "CMakeFiles/chronolog_ast.dir/rule.cc.o"
+  "CMakeFiles/chronolog_ast.dir/rule.cc.o.d"
+  "CMakeFiles/chronolog_ast.dir/vocabulary.cc.o"
+  "CMakeFiles/chronolog_ast.dir/vocabulary.cc.o.d"
+  "libchronolog_ast.a"
+  "libchronolog_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_core.dir/engine.cc.o"
+  "CMakeFiles/chronolog_core.dir/engine.cc.o.d"
+  "libchronolog_core.a"
+  "libchronolog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/bt.cc" "src/eval/CMakeFiles/chronolog_eval.dir/bt.cc.o" "gcc" "src/eval/CMakeFiles/chronolog_eval.dir/bt.cc.o.d"
+  "/root/repo/src/eval/fixpoint.cc" "src/eval/CMakeFiles/chronolog_eval.dir/fixpoint.cc.o" "gcc" "src/eval/CMakeFiles/chronolog_eval.dir/fixpoint.cc.o.d"
+  "/root/repo/src/eval/forward.cc" "src/eval/CMakeFiles/chronolog_eval.dir/forward.cc.o" "gcc" "src/eval/CMakeFiles/chronolog_eval.dir/forward.cc.o.d"
+  "/root/repo/src/eval/provenance.cc" "src/eval/CMakeFiles/chronolog_eval.dir/provenance.cc.o" "gcc" "src/eval/CMakeFiles/chronolog_eval.dir/provenance.cc.o.d"
+  "/root/repo/src/eval/rule_eval.cc" "src/eval/CMakeFiles/chronolog_eval.dir/rule_eval.cc.o" "gcc" "src/eval/CMakeFiles/chronolog_eval.dir/rule_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/chronolog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/chronolog_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronolog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

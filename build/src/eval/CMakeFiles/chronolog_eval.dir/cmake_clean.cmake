@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_eval.dir/bt.cc.o"
+  "CMakeFiles/chronolog_eval.dir/bt.cc.o.d"
+  "CMakeFiles/chronolog_eval.dir/fixpoint.cc.o"
+  "CMakeFiles/chronolog_eval.dir/fixpoint.cc.o.d"
+  "CMakeFiles/chronolog_eval.dir/forward.cc.o"
+  "CMakeFiles/chronolog_eval.dir/forward.cc.o.d"
+  "CMakeFiles/chronolog_eval.dir/provenance.cc.o"
+  "CMakeFiles/chronolog_eval.dir/provenance.cc.o.d"
+  "CMakeFiles/chronolog_eval.dir/rule_eval.cc.o"
+  "CMakeFiles/chronolog_eval.dir/rule_eval.cc.o.d"
+  "libchronolog_eval.a"
+  "libchronolog_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

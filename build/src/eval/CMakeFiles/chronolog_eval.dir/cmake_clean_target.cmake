@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchronolog_eval.a"
+)

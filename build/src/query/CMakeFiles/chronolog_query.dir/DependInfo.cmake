@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/answers.cc" "src/query/CMakeFiles/chronolog_query.dir/answers.cc.o" "gcc" "src/query/CMakeFiles/chronolog_query.dir/answers.cc.o.d"
+  "/root/repo/src/query/query_eval.cc" "src/query/CMakeFiles/chronolog_query.dir/query_eval.cc.o" "gcc" "src/query/CMakeFiles/chronolog_query.dir/query_eval.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "src/query/CMakeFiles/chronolog_query.dir/query_parser.cc.o" "gcc" "src/query/CMakeFiles/chronolog_query.dir/query_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/chronolog_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chronolog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/chronolog_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronolog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/chronolog_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_query.dir/answers.cc.o"
+  "CMakeFiles/chronolog_query.dir/answers.cc.o.d"
+  "CMakeFiles/chronolog_query.dir/query_eval.cc.o"
+  "CMakeFiles/chronolog_query.dir/query_eval.cc.o.d"
+  "CMakeFiles/chronolog_query.dir/query_parser.cc.o"
+  "CMakeFiles/chronolog_query.dir/query_parser.cc.o.d"
+  "libchronolog_query.a"
+  "libchronolog_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_spec.dir/period.cc.o"
+  "CMakeFiles/chronolog_spec.dir/period.cc.o.d"
+  "CMakeFiles/chronolog_spec.dir/serialize.cc.o"
+  "CMakeFiles/chronolog_spec.dir/serialize.cc.o.d"
+  "CMakeFiles/chronolog_spec.dir/specification.cc.o"
+  "CMakeFiles/chronolog_spec.dir/specification.cc.o.d"
+  "libchronolog_spec.a"
+  "libchronolog_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

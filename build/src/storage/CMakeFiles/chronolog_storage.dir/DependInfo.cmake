@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/interpretation.cc" "src/storage/CMakeFiles/chronolog_storage.dir/interpretation.cc.o" "gcc" "src/storage/CMakeFiles/chronolog_storage.dir/interpretation.cc.o.d"
+  "/root/repo/src/storage/state.cc" "src/storage/CMakeFiles/chronolog_storage.dir/state.cc.o" "gcc" "src/storage/CMakeFiles/chronolog_storage.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/chronolog_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronolog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

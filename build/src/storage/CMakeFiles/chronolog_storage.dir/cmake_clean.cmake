@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_storage.dir/interpretation.cc.o"
+  "CMakeFiles/chronolog_storage.dir/interpretation.cc.o.d"
+  "CMakeFiles/chronolog_storage.dir/state.cc.o"
+  "CMakeFiles/chronolog_storage.dir/state.cc.o.d"
+  "libchronolog_storage.a"
+  "libchronolog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_util.dir/status.cc.o"
+  "CMakeFiles/chronolog_util.dir/status.cc.o.d"
+  "CMakeFiles/chronolog_util.dir/string_util.cc.o"
+  "CMakeFiles/chronolog_util.dir/string_util.cc.o.d"
+  "CMakeFiles/chronolog_util.dir/symbol_table.cc.o"
+  "CMakeFiles/chronolog_util.dir/symbol_table.cc.o.d"
+  "libchronolog_util.a"
+  "libchronolog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronolog_workload.dir/generators.cc.o"
+  "CMakeFiles/chronolog_workload.dir/generators.cc.o.d"
+  "libchronolog_workload.a"
+  "libchronolog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronolog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

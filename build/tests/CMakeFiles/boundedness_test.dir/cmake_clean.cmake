@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundedness_test.dir/boundedness_test.cc.o"
+  "CMakeFiles/boundedness_test.dir/boundedness_test.cc.o.d"
+  "boundedness_test"
+  "boundedness_test.pdb"
+  "boundedness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundedness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

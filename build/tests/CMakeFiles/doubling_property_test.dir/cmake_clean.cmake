@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doubling_property_test.dir/doubling_property_test.cc.o"
+  "CMakeFiles/doubling_property_test.dir/doubling_property_test.cc.o.d"
+  "doubling_property_test"
+  "doubling_property_test.pdb"
+  "doubling_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doubling_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equality_test.dir/equality_test.cc.o"
+  "CMakeFiles/equality_test.dir/equality_test.cc.o.d"
+  "equality_test"
+  "equality_test.pdb"
+  "equality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

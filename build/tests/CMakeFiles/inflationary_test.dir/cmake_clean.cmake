@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflationary_test.dir/inflationary_test.cc.o"
+  "CMakeFiles/inflationary_test.dir/inflationary_test.cc.o.d"
+  "inflationary_test"
+  "inflationary_test.pdb"
+  "inflationary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

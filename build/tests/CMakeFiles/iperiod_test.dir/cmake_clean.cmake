@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iperiod_test.dir/iperiod_test.cc.o"
+  "CMakeFiles/iperiod_test.dir/iperiod_test.cc.o.d"
+  "iperiod_test"
+  "iperiod_test.pdb"
+  "iperiod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iperiod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

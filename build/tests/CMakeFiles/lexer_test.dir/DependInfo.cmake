@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lexer_test.cc" "tests/CMakeFiles/lexer_test.dir/lexer_test.cc.o" "gcc" "tests/CMakeFiles/lexer_test.dir/lexer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chronolog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chronolog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/chronolog_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/chronolog_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/chronolog_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/chronolog_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chronolog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/chronolog_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronolog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

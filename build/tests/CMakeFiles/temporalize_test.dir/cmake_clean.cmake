@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporalize_test.dir/temporalize_test.cc.o"
+  "CMakeFiles/temporalize_test.dir/temporalize_test.cc.o.d"
+  "temporalize_test"
+  "temporalize_test.pdb"
+  "temporalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
