@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs the two headline benchmark suites (relational-specification builds and
+# algorithm-BT scaling) and distils their google-benchmark JSON into
+# BENCH_PR1.json: one record per benchmark with the median wall time in
+# milliseconds, the thread count it ran with, and the temporal horizon
+# (|T| representatives) where the workload reports one.
+#
+# Usage: bench/run_benches.sh [build_dir] [output_json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_PR1.json}"
+REPS="${BENCH_REPETITIONS:-3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bench in bench_spec_build bench_bt_scaling; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (run: cmake --build $BUILD_DIR --target $bench)" >&2
+    exit 1
+  fi
+  echo "== $bench (repetitions=$REPS) =="
+  "$bin" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="$TMP/$bench.json" \
+    --benchmark_out_format=json >/dev/null
+done
+
+python3 - "$TMP" "$OUT" <<'PY'
+import json
+import os
+import sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+# Host context matters for the threaded variants: on a single-CPU host they
+# report sequential time plus pool overhead, not a speedup.
+records = {"_host": {"cpus": os.cpu_count()}}
+for suite in ("bench_spec_build", "bench_bt_scaling"):
+    with open(f"{tmp_dir}/{suite}.json") as fh:
+        report = json.load(fh)
+    for bench in report["benchmarks"]:
+        # Aggregate-only output: keep the median rows.
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench["run_name"]
+        assert bench["time_unit"] == "ms", (name, bench["time_unit"])
+        # Workload counters (num_threads, T_size) are flattened into the
+        # entry by google-benchmark; absent counters mean a sequential run /
+        # no reported horizon.
+        record = {
+            "suite": suite,
+            "median_wall_ms": round(bench["real_time"], 3),
+            "threads": int(bench.get("num_threads", 1)),
+        }
+        horizon = bench.get("T_size")
+        record["horizon"] = int(horizon) if horizon is not None else None
+        records[name] = record
+
+with open(out_path, "w") as fh:
+    json.dump(records, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {out_path} ({len(records)} benchmarks)")
+PY

@@ -57,6 +57,7 @@ Result<bool> TemporalDatabase::AskBt(std::string_view ground_atom,
   CHRONOLOG_ASSIGN_OR_RETURN(GroundAtom atom,
                              ParseGroundAtom(ground_atom, vocab()));
   BtOptions options;
+  options.num_threads = options_.num_threads;
   if (range.has_value()) {
     options.range = *range;
   } else {

@@ -24,6 +24,11 @@ struct EngineOptions {
   PeriodDetectionOptions period;
   /// Budgets for the Theorem 5.2 inflationary decision procedure.
   PeriodDetectionOptions inflationary_check;
+  /// Worker threads for model materialisation (specification builds and
+  /// AskBt). Values > 1 are pushed into the sub-option structs above unless
+  /// those already request their own thread count. Results are
+  /// thread-count independent.
+  int num_threads = 1;
 };
 
 /// The top-level facade of chronolog: one temporal deductive database
@@ -96,7 +101,16 @@ class TemporalDatabase {
 
  private:
   TemporalDatabase(ParsedUnit unit, EngineOptions options)
-      : unit_(std::move(unit)), options_(options) {}
+      : unit_(std::move(unit)), options_(options) {
+    if (options_.num_threads > 1) {
+      if (options_.period.num_threads <= 1) {
+        options_.period.num_threads = options_.num_threads;
+      }
+      if (options_.inflationary_check.num_threads <= 1) {
+        options_.inflationary_check.num_threads = options_.num_threads;
+      }
+    }
+  }
 
   ParsedUnit unit_;
   EngineOptions options_;

@@ -31,6 +31,7 @@ Result<BtResult> RunBt(const Program& program, const Database& db,
   FixpointOptions fp;
   fp.max_time = m;
   fp.max_facts = options.max_facts;
+  fp.num_threads = options.num_threads;
 
   BtResult result{false, m, Interpretation(program.vocab_ptr()), {}};
   if (options.semi_naive) {

@@ -29,6 +29,10 @@ struct BtOptions {
   bool semi_naive = false;
 
   uint64_t max_facts = 50'000'000;
+
+  /// Worker threads for the semi-naive fixpoint (ignored by the naive
+  /// path); 1 = sequential. The result is thread-count independent.
+  int num_threads = 1;
 };
 
 /// Outcome of a BT run for a ground atomic query.

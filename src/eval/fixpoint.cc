@@ -1,10 +1,23 @@
 #include "eval/fixpoint.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace chronolog {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
 
 Status TooLarge(uint64_t max_facts) {
   return ResourceExhaustedError(
@@ -16,6 +29,179 @@ Status TooLarge(uint64_t max_facts) {
 bool WithinBound(const Vocabulary& vocab, const GroundAtom& fact,
                  int64_t max_time) {
   return !vocab.predicate(fact.pred).is_temporal || fact.time <= max_time;
+}
+
+/// Rounds with a delta smaller than this stay sequential: waking the pool
+/// costs more than deriving a handful of facts (e.g. the depth-scaling
+/// workload inserts one fact per round for 10^5 rounds).
+constexpr std::size_t kParallelDeltaThreshold = 32;
+
+/// One (rule, delta-position) unit of semi-naive work.
+struct TaskPair {
+  std::size_t rule;
+  int pos;
+};
+
+/// Folds `fact` into `full`, maintaining inserted/min_new_time stats.
+void InsertIntoFull(const Vocabulary& vocab, Interpretation& full,
+                    PredicateId pred, int64_t time, const Tuple& args,
+                    EvalStats* stats) {
+  if (full.Insert(pred, time, args)) {
+    ++stats->inserted;
+    if (vocab.predicate(pred).is_temporal) {
+      stats->min_new_time = std::min(stats->min_new_time, time);
+    }
+  }
+}
+
+/// The shared semi-naive round loop: iterates `full`/`delta` to the least
+/// fixpoint of the truncated operator. `delta` must be a subset of `full`
+/// (the facts not yet consumed by any rule). The first round evaluates every
+/// (rule, delta-position) pair — the initial delta may contain EDB facts —
+/// while later rounds skip positions whose body atom has a predicate no rule
+/// derives: after round one the delta only ever holds derived (IDB) facts.
+///
+/// With `options.num_threads > 1` each round's task list is sharded across a
+/// thread pool. Workers only read `full`/`delta` (concurrent-probe mode
+/// guards lazy index builds) and buffer derivations thread-locally; buffers
+/// are merged in task order after the round barrier, which reproduces the
+/// sequential insertion order exactly.
+Status RunSemiNaiveRounds(const Program& program,
+                          const FixpointOptions& options, EvalStats* stats,
+                          Interpretation& full, Interpretation&& delta_in) {
+  const Vocabulary& vocab = program.vocab();
+  Interpretation delta = std::move(delta_in);
+
+  std::vector<RuleEvaluator> evaluators;
+  evaluators.reserve(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    evaluators.emplace_back(rule, vocab, options.use_index);
+  }
+
+  // Derivable (IDB) predicates: heads of some rule.
+  std::vector<bool> derivable(vocab.num_predicates(), false);
+  for (const Rule& rule : program.rules()) {
+    if (rule.head.pred < derivable.size()) derivable[rule.head.pred] = true;
+  }
+  std::vector<TaskPair> all_pairs;
+  std::vector<TaskPair> steady_pairs;
+  for (std::size_t ri = 0; ri < program.rules().size(); ++ri) {
+    const Rule& rule = program.rules()[ri];
+    for (int pos = 0; pos < static_cast<int>(rule.body.size()); ++pos) {
+      all_pairs.push_back({ri, pos});
+      PredicateId pred = rule.body[static_cast<std::size_t>(pos)].pred;
+      if (pred < derivable.size() && derivable[pred]) {
+        steady_pairs.push_back({ri, pos});
+      }
+    }
+  }
+
+  const int num_threads = std::max(1, options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
+  bool first_round = true;
+  while (!delta.empty()) {
+    ++stats->iterations;
+    const std::vector<TaskPair>& pairs =
+        first_round ? all_pairs : steady_pairs;
+    first_round = false;
+
+    // Derivations are buffered into `next_delta` and merged into `full`
+    // after the round: inserting into `full` mid-evaluation would invalidate
+    // the tuple-set iterators the rule evaluator is walking.
+    Interpretation next_delta(program.vocab_ptr());
+    bool overflow = false;
+    // Per-phase timers are sampled only on rounds with a non-trivial delta:
+    // clock reads would otherwise dominate workloads with 10^5 one-fact
+    // rounds (the depth-scaling benchmark).
+    const bool timed = delta.size() >= kParallelDeltaThreshold;
+    const Clock::time_point derive_start =
+        timed ? Clock::now() : Clock::time_point();
+
+    if (pool == nullptr || delta.size() < kParallelDeltaThreshold ||
+        pairs.empty()) {
+      for (const TaskPair& task : pairs) {
+        evaluators[task.rule].Evaluate(
+            full, &delta, task.pos, /*time_binding=*/std::nullopt, stats,
+            [&](GroundAtom&& fact) {
+              if (!WithinBound(vocab, fact, options.max_time)) return;
+              if (full.Contains(fact)) return;
+              next_delta.Insert(fact.pred, fact.time, std::move(fact.args));
+              if (full.size() + next_delta.size() > options.max_facts) {
+                overflow = true;
+              }
+            });
+        if (overflow) return TooLarge(options.max_facts);
+      }
+      if (timed) stats->derive_ms += MsSince(derive_start);
+    } else {
+      // Shard every (rule, position) pair across the pool; shards of one
+      // pair split the delta atom's candidate tuples round-robin.
+      struct Task {
+        TaskPair pair;
+        uint32_t shard;
+      };
+      const uint32_t shards = static_cast<uint32_t>(num_threads);
+      std::vector<Task> tasks;
+      tasks.reserve(pairs.size() * shards);
+      for (const TaskPair& pair : pairs) {
+        for (uint32_t s = 0; s < shards; ++s) tasks.push_back({pair, s});
+      }
+
+      std::vector<Interpretation> buffers(
+          tasks.size(), Interpretation(program.vocab_ptr()));
+      std::vector<EvalStats> task_stats(tasks.size());
+      std::atomic<bool> overflow_flag{false};
+      full.SetConcurrentProbes(true);
+      delta.SetConcurrentProbes(true);
+      pool->ParallelFor(tasks.size(), [&](std::size_t i) {
+        const Task& task = tasks[i];
+        Interpretation& buffer = buffers[i];
+        evaluators[task.pair.rule].Evaluate(
+            full, &delta, task.pair.pos, /*time_binding=*/std::nullopt,
+            &task_stats[i],
+            [&](GroundAtom&& fact) {
+              if (!WithinBound(vocab, fact, options.max_time)) return;
+              if (full.Contains(fact)) return;
+              buffer.Insert(fact.pred, fact.time, std::move(fact.args));
+              if (full.size() + buffer.size() > options.max_facts) {
+                overflow_flag.store(true, std::memory_order_relaxed);
+              }
+            },
+            task.shard, shards);
+      });
+      full.SetConcurrentProbes(false);
+      delta.SetConcurrentProbes(false);
+      for (const EvalStats& ts : task_stats) stats->Add(ts);
+      if (overflow_flag.load()) return TooLarge(options.max_facts);
+      stats->derive_ms += MsSince(derive_start);
+
+      // Deterministic merge: task order reproduces the sequential
+      // insertion order (tasks are already ordered by (rule, pos, shard)).
+      const Clock::time_point merge_start = Clock::now();
+      for (const Interpretation& buffer : buffers) {
+        buffer.ForEach(
+            [&](PredicateId pred, int64_t time, const Tuple& args) {
+              next_delta.Insert(pred, time, args);
+              if (full.size() + next_delta.size() > options.max_facts) {
+                overflow = true;
+              }
+            });
+      }
+      stats->merge_ms += MsSince(merge_start);
+      if (overflow) return TooLarge(options.max_facts);
+    }
+
+    const Clock::time_point merge_start =
+        timed ? Clock::now() : Clock::time_point();
+    next_delta.ForEach([&](PredicateId pred, int64_t time, const Tuple& args) {
+      InsertIntoFull(vocab, full, pred, time, args, stats);
+    });
+    if (timed) stats->merge_ms += MsSince(merge_start);
+    delta = std::move(next_delta);
+  }
+  return Status();
 }
 
 }  // namespace
@@ -38,9 +224,10 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
                          if (!WithinBound(vocab, fact, options.max_time)) {
                            return;
                          }
-                         if (out.Insert(std::move(fact)) && stats != nullptr) {
-                           ++stats->inserted;
-                         }
+                         if (out.Contains(fact)) return;
+                         out.Insert(fact.pred, fact.time,
+                                    std::move(fact.args));
+                         if (stats != nullptr) ++stats->inserted;
                          if (out.size() > options.max_facts) overflow = true;
                        });
     if (overflow) return TooLarge(options.max_facts);
@@ -71,6 +258,8 @@ Result<Interpretation> SemiNaiveFixpoint(const Program& program,
                                          const Database& db,
                                          const FixpointOptions& options,
                                          EvalStats* stats) {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   const Vocabulary& vocab = program.vocab();
   Interpretation full(program.vocab_ptr());
   Interpretation delta(program.vocab_ptr());
@@ -78,43 +267,88 @@ Result<Interpretation> SemiNaiveFixpoint(const Program& program,
     if (!WithinBound(vocab, f, options.max_time)) continue;
     if (full.Insert(f)) delta.Insert(f);
   }
+  Status status =
+      RunSemiNaiveRounds(program, options, stats, full, std::move(delta));
+  if (!status.ok()) return status;
+  return full;
+}
 
-  std::vector<RuleEvaluator> evaluators;
-  evaluators.reserve(program.rules().size());
-  for (const Rule& rule : program.rules()) {
-    evaluators.emplace_back(rule, vocab, options.use_index);
+Result<Interpretation> ExtendFixpoint(const Program& program,
+                                      const Database& db,
+                                      Interpretation&& prior,
+                                      int64_t prior_max_time,
+                                      const FixpointOptions& options,
+                                      EvalStats* stats) {
+  if (options.max_time < prior_max_time) {
+    return InvalidArgumentError(
+        "ExtendFixpoint: max_time (" + std::to_string(options.max_time) +
+        ") must not be below prior_max_time (" +
+        std::to_string(prior_max_time) + ")");
   }
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const Vocabulary& vocab = program.vocab();
+  const int64_t g = std::max<int64_t>(1, program.MaxTemporalDepth());
 
-  while (!delta.empty()) {
-    if (stats != nullptr) ++stats->iterations;
-    // Derivations are buffered into `next_delta` and merged into `full`
-    // after the round: inserting into `full` mid-evaluation would invalidate
-    // the tuple-set iterators the rule evaluator is walking.
-    Interpretation next_delta(program.vocab_ptr());
-    bool overflow = false;
-    for (std::size_t ri = 0; ri < program.rules().size(); ++ri) {
-      const Rule& rule = program.rules()[ri];
-      for (int pos = 0; pos < static_cast<int>(rule.body.size()); ++pos) {
-        evaluators[ri].Evaluate(
-            full, &delta, pos, /*time_binding=*/std::nullopt, stats,
-            [&](GroundAtom&& fact) {
-              if (!WithinBound(vocab, fact, options.max_time)) return;
-              if (full.Contains(fact)) return;
-              next_delta.Insert(std::move(fact));
-              if (full.size() + next_delta.size() > options.max_facts) {
-                overflow = true;
-              }
-            });
-        if (overflow) return TooLarge(options.max_facts);
+  Interpretation full = std::move(prior);
+  Interpretation delta(program.vocab_ptr());
+
+  // (a) Database facts the old bound truncated away.
+  for (const GroundAtom& f : db.facts()) {
+    if (!WithinBound(vocab, f, options.max_time)) continue;
+    if (full.Insert(f)) {
+      ++stats->inserted;
+      if (vocab.predicate(f.pred).is_temporal) {
+        stats->min_new_time = std::min(stats->min_new_time, f.time);
       }
+      delta.Insert(f);
     }
-    next_delta.ForEach([&](PredicateId pred, int64_t time, const Tuple& args) {
-      if (full.Insert(pred, time, args) && stats != nullptr) {
-        ++stats->inserted;
-      }
-    });
-    delta = std::move(next_delta);
   }
+
+  // (b) The frontier: every fact at time > prior_max_time - g (see the
+  // header for why this window suffices). These facts are already in `full`;
+  // re-listing them in the delta re-fires the rules they can feed.
+  for (PredicateId pred : vocab.AllPredicates()) {
+    if (!vocab.predicate(pred).is_temporal) continue;
+    const auto& timeline = full.Timeline(pred);
+    for (auto it = timeline.lower_bound(prior_max_time - g + 1);
+         it != timeline.end(); ++it) {
+      for (const Tuple& tuple : it->second) delta.Insert(pred, it->first, tuple);
+    }
+  }
+
+  // (c) Rules with a ground temporal head derive at a fixed time that may
+  // lie anywhere in the new segment; one explicit evaluation pass catches
+  // instantiations whose body is entirely old. (Heads at or below the old
+  // bound are already closed in `prior`.)
+  std::vector<GroundAtom> ground_head_facts;
+  for (const Rule& rule : program.rules()) {
+    if (!rule.head.temporal() || !rule.head.time->ground()) continue;
+    if (rule.head.time->offset <= prior_max_time) continue;
+    RuleEvaluator evaluator(rule, vocab, options.use_index);
+    evaluator.Evaluate(full, /*delta=*/nullptr, /*delta_pos=*/-1,
+                       /*time_binding=*/std::nullopt, stats,
+                       [&](GroundAtom&& fact) {
+                         if (!WithinBound(vocab, fact, options.max_time)) {
+                           return;
+                         }
+                         if (full.Contains(fact)) return;
+                         ground_head_facts.push_back(std::move(fact));
+                       });
+  }
+  for (GroundAtom& fact : ground_head_facts) {
+    if (full.Insert(fact)) {
+      ++stats->inserted;
+      if (vocab.predicate(fact.pred).is_temporal) {
+        stats->min_new_time = std::min(stats->min_new_time, fact.time);
+      }
+      delta.Insert(std::move(fact));
+    }
+  }
+
+  Status status =
+      RunSemiNaiveRounds(program, options, stats, full, std::move(delta));
+  if (!status.ok()) return status;
   return full;
 }
 

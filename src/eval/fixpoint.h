@@ -21,6 +21,12 @@ struct FixpointOptions {
   /// Hash-join via lazily built column indexes; disable for the
   /// nested-loop baseline (experiment E8 ablation).
   bool use_index = true;
+  /// Worker threads for the semi-naive evaluator (1 = sequential, the
+  /// historical behaviour). Each round's (rule × delta-position) task list
+  /// is sharded across a thread pool; per-task buffers are merged in task
+  /// order after a barrier, so the result is identical to the sequential
+  /// path for every thread count.
+  int num_threads = 1;
 };
 
 /// One application of the immediate-consequence operator:
@@ -47,6 +53,36 @@ Result<Interpretation> SemiNaiveFixpoint(const Program& program,
                                          const Database& db,
                                          const FixpointOptions& options,
                                          EvalStats* stats = nullptr);
+
+/// Resumable fixpoint: extends an already-closed truncated least model to a
+/// wider truncation bound without recomputing it. `prior` must be the least
+/// model of `Z ∧ D` truncated to `[0...prior_max_time]` (the result of
+/// {Naive,SemiNaive,Extend}Fixpoint with `max_time = prior_max_time`);
+/// returns the least model truncated to `[0...options.max_time]`, identical
+/// to a from-scratch fixpoint at that bound.
+///
+/// The semi-naive delta is seeded with exactly the facts that can feed a
+/// derivation absent from `prior`:
+///  * database facts beyond `prior_max_time` that the old bound truncated;
+///  * the frontier — facts at times `> prior_max_time - g`, where `g` is the
+///    program's maximal temporal depth: a rule instantiation whose head
+///    lands past the old bound binds its temporal variable to
+///    `v > prior_max_time - g`, so every (non-ground) body atom it reads
+///    sits at time `v + offset >= v > prior_max_time - g`;
+///  * heads of rules with ground temporal terms, which derive at fixed
+///    times anywhere in the new segment and are re-fired once explicitly.
+/// Everything else derivable in the wider segment needs a fact from one of
+/// these groups, so standard delta propagation completes the model.
+///
+/// `stats->min_new_time` reports the smallest time point that gained a
+/// temporal fact during the extension (INT64_MAX when the old segment is
+/// untouched) — callers reuse per-time artefacts (extracted states) below it.
+Result<Interpretation> ExtendFixpoint(const Program& program,
+                                      const Database& db,
+                                      Interpretation&& prior,
+                                      int64_t prior_max_time,
+                                      const FixpointOptions& options,
+                                      EvalStats* stats = nullptr);
 
 }  // namespace chronolog
 

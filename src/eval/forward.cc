@@ -123,8 +123,43 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
                                           rule->head.time->offset});
   }
 
-  // Window hash: start time of each previously seen window of g states.
-  std::unordered_map<StateWindow, int64_t, StateWindowHash> seen_windows;
+  // A rule can consume a fact derived at its own timestep only through a
+  // body atom whose offset equals the head offset (progressivity excludes
+  // larger body offsets, and every fact derived while simulating timestep
+  // `t` lands exactly on `t`). Without such an atom each timestep closes in
+  // a single evaluation pass — the re-verification round, which re-derives
+  // every fact at `t` just to observe no change, is pure overhead.
+  bool same_time_feedback = false;
+  for (const TemporalRule& tr : temporal_rules) {
+    for (const Atom& atom : tr.rule->body) {
+      if (atom.temporal() && atom.time->offset == tr.head_offset) {
+        same_time_feedback = true;
+      }
+    }
+  }
+
+  // Window detection: start times of previously seen windows of g states,
+  // bucketed by window hash. Hashes are combined from per-state hashes so no
+  // window (or state) is ever copied; candidates with equal hashes are
+  // verified against the state vector directly.
+  std::vector<std::size_t> state_hashes;
+  std::unordered_map<std::size_t, std::vector<int64_t>> seen_windows;
+  auto window_hash = [&](int64_t s) {
+    std::size_t seed = static_cast<std::size_t>(g);
+    for (int64_t i = 0; i < g; ++i) {
+      HashCombine(seed, state_hashes[static_cast<std::size_t>(s + i)]);
+    }
+    return seed;
+  };
+  auto windows_equal = [&](int64_t s1, int64_t s2) {
+    for (int64_t i = 0; i < g; ++i) {
+      if (!(result.states[static_cast<std::size_t>(s1 + i)] ==
+            result.states[static_cast<std::size_t>(s2 + i)])) {
+        return false;
+      }
+    }
+    return true;
+  };
 
   auto too_large = [&]() {
     return ResourceExhaustedError(
@@ -133,48 +168,78 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
         "); the period of this TDD may be exponentially large (Theorem 3.1)");
   };
 
+  std::vector<GroundAtom> buffer;
   for (int64_t t = 0;; ++t) {
     if (t > options.max_steps) return too_large();
     // Within-timestep fixpoint: all rules whose head lands on `t`.
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      std::vector<GroundAtom> buffer;
+    if (!same_time_feedback) {
+      // Every body atom reads a strictly earlier timestep, so inserting the
+      // derived facts (which all land on `t`) cannot touch any container the
+      // evaluator is iterating — insert directly, no buffering, one pass.
       for (TemporalRule& tr : temporal_rules) {
         int64_t v = t - tr.head_offset;
         if (v < 0) continue;
         tr.evaluator.Evaluate(model, nullptr, -1,
                               std::make_pair(tr.time_var, v), &result.stats,
                               [&](GroundAtom&& fact) {
-                                if (!model.Contains(fact)) {
-                                  buffer.push_back(std::move(fact));
-                                }
+                                // Contains-first keeps the evaluator's
+                                // scratch tuple alive on the (dominant)
+                                // duplicate path — no allocation per dup.
+                                if (model.Contains(fact)) return;
+                                model.Insert(fact.pred, fact.time,
+                                             std::move(fact.args));
+                                ++result.stats.inserted;
                               });
       }
-      for (GroundAtom& fact : buffer) {
-        if (model.Insert(std::move(fact))) {
-          ++result.stats.inserted;
-          changed = true;
-        }
-      }
       if (model.size() > options.max_facts) return too_large();
+    } else {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        buffer.clear();
+        for (TemporalRule& tr : temporal_rules) {
+          int64_t v = t - tr.head_offset;
+          if (v < 0) continue;
+          tr.evaluator.Evaluate(model, nullptr, -1,
+                                std::make_pair(tr.time_var, v), &result.stats,
+                                [&](GroundAtom&& fact) {
+                                  if (!model.Contains(fact)) {
+                                    buffer.push_back(std::move(fact));
+                                  }
+                                });
+        }
+        for (GroundAtom& fact : buffer) {
+          if (model.Insert(std::move(fact))) {
+            ++result.stats.inserted;
+            changed = true;
+          }
+        }
+        if (model.size() > options.max_facts) return too_large();
+      }
     }
 
     result.states.push_back(State::FromInterpretation(model, t));
+    state_hashes.push_back(result.states.back().Hash());
     result.horizon = t;
 
     // Period detection: windows of g consecutive states starting at
     // s >= c+1 evolve deterministically (no database injection past c).
     int64_t s = t - g + 1;  // start of the newest complete window
     if (s < c + 1) continue;
-    StateWindow window = StateWindow::FromStates(
-        result.states, static_cast<std::size_t>(s),
-        static_cast<std::size_t>(g));
-    auto [it, inserted] = seen_windows.try_emplace(std::move(window), s);
-    if (inserted) continue;
+    std::vector<int64_t>& bucket = seen_windows[window_hash(s)];
+    int64_t s1 = -1;
+    for (int64_t candidate : bucket) {
+      if (windows_equal(candidate, s)) {
+        s1 = candidate;
+        break;
+      }
+    }
+    if (s1 < 0) {
+      bucket.push_back(s);
+      continue;
+    }
 
     // First repeat: cycle entry s1, exact cycle length p.
-    int64_t s1 = it->second;
     int64_t p = s - s1;
     // The periodicity may extend below the detection threshold; walk k down
     // to the minimal start for which M[k] = M[k+p] still holds.

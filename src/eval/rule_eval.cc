@@ -53,8 +53,10 @@ void Unwind(const Trail& trail, std::size_t from, Bindings* b) {
 void RuleEvaluator::Evaluate(
     const Interpretation& full, const Interpretation* delta, int delta_pos,
     std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,
-    const std::function<void(GroundAtom&&)>& emit) const {
-  EvaluateImpl(full, delta, delta_pos, time_binding, stats, &emit, nullptr);
+    const std::function<void(GroundAtom&&)>& emit, uint32_t delta_shard,
+    uint32_t delta_num_shards) const {
+  EvaluateImpl(full, delta, delta_pos, time_binding, stats, &emit, nullptr,
+               delta_shard, delta_num_shards);
 }
 
 void RuleEvaluator::EvaluateWithBody(
@@ -62,7 +64,8 @@ void RuleEvaluator::EvaluateWithBody(
     std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,
     const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>& emit)
     const {
-  EvaluateImpl(full, delta, delta_pos, time_binding, stats, nullptr, &emit);
+  EvaluateImpl(full, delta, delta_pos, time_binding, stats, nullptr, &emit,
+               /*delta_shard=*/0, /*delta_num_shards=*/1);
 }
 
 void RuleEvaluator::EvaluateImpl(
@@ -70,7 +73,8 @@ void RuleEvaluator::EvaluateImpl(
     std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,
     const std::function<void(GroundAtom&&)>* emit,
     const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>*
-        emit_with_body) const {
+        emit_with_body,
+    uint32_t delta_shard, uint32_t delta_num_shards) const {
   Bindings bindings(rule_.num_vars());
   if (time_binding.has_value()) {
     bindings.bound[time_binding->first] = 1;
@@ -105,6 +109,34 @@ void RuleEvaluator::EvaluateImpl(
     return fact;
   };
 
+  // Scratch head atom for the plain-emit path. Sinks that drop duplicates
+  // without moving the atom leave `scratch.args`'s capacity behind, so the
+  // (dominant) duplicate-derivation case allocates nothing. Sinks never
+  // retain a reference past the call, so reuse is safe.
+  GroundAtom scratch;
+  auto instantiate_head_into = [&](GroundAtom* fact) {
+    const Atom& atom = rule_.head;
+    fact->pred = atom.pred;
+    if (atom.temporal()) {
+      const TemporalTerm& tt = *atom.time;
+      if (tt.ground()) {
+        fact->time = tt.offset;
+      } else {
+        assert(bindings.bound[tt.var]);
+        fact->time = bindings.tval[tt.var] + tt.offset;
+      }
+    }
+    fact->args.clear();
+    for (const NtTerm& t : atom.args) {
+      if (t.is_constant()) {
+        fact->args.push_back(t.id);
+      } else {
+        assert(bindings.bound[t.id]);
+        fact->args.push_back(bindings.nval[t.id]);
+      }
+    }
+  };
+
   auto emit_head = [&]() {
     if (stats != nullptr) ++stats->derived;
     if (emit_with_body != nullptr) {
@@ -113,7 +145,8 @@ void RuleEvaluator::EvaluateImpl(
       for (const Atom& atom : rule_.body) body.push_back(instantiate(atom));
       (*emit_with_body)(instantiate(rule_.head), std::move(body));
     } else {
-      (*emit)(instantiate(rule_.head));
+      instantiate_head_into(&scratch);
+      (*emit)(std::move(scratch));
     }
   };
 
@@ -128,6 +161,11 @@ void RuleEvaluator::EvaluateImpl(
     std::swap(order[0], order[static_cast<std::size_t>(delta_pos)]);
   }
 
+  // Round-robin counter over the delta atom's candidate tuples; shared
+  // across timeline slices so the assignment is a deterministic function of
+  // the enumeration order alone.
+  uint64_t shard_counter = 0;
+
   std::function<void(std::size_t)> match = [&](std::size_t step) {
     if (step == rule_.body.size()) {
       emit_head();
@@ -135,11 +173,15 @@ void RuleEvaluator::EvaluateImpl(
     }
     const std::size_t pos = order[step];
     const Atom& atom = rule_.body[pos];
-    const Interpretation& source =
-        (delta != nullptr && static_cast<int>(pos) == delta_pos) ? *delta
-                                                                 : full;
+    const bool is_delta_atom =
+        delta != nullptr && static_cast<int>(pos) == delta_pos;
+    const Interpretation& source = is_delta_atom ? *delta : full;
+    const bool sharded = is_delta_atom && delta_num_shards > 1;
 
     auto try_one = [&](const Tuple& tuple) {
+      if (sharded && (shard_counter++ % delta_num_shards) != delta_shard) {
+        return;
+      }
       if (stats != nullptr) ++stats->match_steps;
       std::size_t mark = trail.size();
       if (MatchArgs(atom, tuple, &bindings, &trail)) {

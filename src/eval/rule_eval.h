@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -15,17 +16,33 @@ namespace chronolog {
 /// head instantiation (before deduplication); `inserted` counts facts that
 /// were new; `match_steps` counts tuple-match attempts (a machine-independent
 /// work measure used by the benchmark harness).
+///
+/// The `*_ms` fields are per-phase wall-clock timers maintained by the
+/// fixpoint drivers: `derive_ms` covers rule evaluation (all workers),
+/// `merge_ms` covers folding per-task buffers / the round delta into the
+/// full model, `extract_ms` covers per-time state extraction during period
+/// detection. `min_new_time` is the smallest time point that gained a
+/// temporal fact (INT64_MAX when none did) — the staleness bound consumed by
+/// the incremental horizon-extension loop.
 struct EvalStats {
   uint64_t derived = 0;
   uint64_t inserted = 0;
   uint64_t match_steps = 0;
   uint64_t iterations = 0;
+  double derive_ms = 0;
+  double merge_ms = 0;
+  double extract_ms = 0;
+  int64_t min_new_time = std::numeric_limits<int64_t>::max();
 
   void Add(const EvalStats& other) {
     derived += other.derived;
     inserted += other.inserted;
     match_steps += other.match_steps;
     iterations += other.iterations;
+    derive_ms += other.derive_ms;
+    merge_ms += other.merge_ms;
+    extract_ms += other.extract_ms;
+    min_new_time = std::min(min_new_time, other.min_new_time);
   }
 };
 
@@ -51,11 +68,19 @@ class RuleEvaluator {
   /// atoms against `full`). When `time_binding` is set, the temporal
   /// variable `time_binding->first` is pre-bound to `time_binding->second`.
   /// Emitted ground atoms may repeat; the caller deduplicates on insert.
+  ///
+  /// `delta_shard` / `delta_num_shards` split the enumeration of candidate
+  /// tuples for the delta-matched atom round-robin across shards: shard `s`
+  /// only descends into candidates `i` with `i % delta_num_shards == s`.
+  /// The union of all shards' emissions equals the unsharded emission set,
+  /// and the assignment is deterministic — the parallel evaluator uses this
+  /// to split one (rule, delta-position) task across workers.
   void Evaluate(
       const Interpretation& full, const Interpretation* delta, int delta_pos,
       std::optional<std::pair<VarId, int64_t>> time_binding,
       EvalStats* stats,
-      const std::function<void(GroundAtom&&)>& emit) const;
+      const std::function<void(GroundAtom&&)>& emit,
+      uint32_t delta_shard = 0, uint32_t delta_num_shards = 1) const;
 
   /// Like Evaluate, but also hands the instantiated ground body atoms (in
   /// source order) to the callback — the premises of the hyperresolution
@@ -73,7 +98,8 @@ class RuleEvaluator {
       std::optional<std::pair<VarId, int64_t>> time_binding,
       EvalStats* stats, const std::function<void(GroundAtom&&)>* emit,
       const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>*
-          emit_with_body) const;
+          emit_with_body,
+      uint32_t delta_shard, uint32_t delta_num_shards) const;
 
   const Rule& rule_;
   const Vocabulary& vocab_;

@@ -23,6 +23,9 @@ struct PeriodDetectionOptions {
   /// When false, non-progressive programs fail with kFailedPrecondition.
   bool allow_general = true;
   uint64_t max_facts = 50'000'000;
+  /// Worker threads for the underlying semi-naive fixpoints
+  /// (FixpointOptions::num_threads); 1 = sequential.
+  int num_threads = 1;
 };
 
 /// Outcome of period detection: the minimal period of `M_{Z∧D}`, the least

@@ -1,6 +1,7 @@
 #include "storage/interpretation.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace chronolog {
 
@@ -46,15 +47,31 @@ void Interpretation::IndexInsertedTuple(PredicateId pred, bool temporal,
                                         int64_t time, const Tuple& stored) {
   if (temporal) {
     if (pred >= t_index_.size() || t_index_[pred].empty()) return;
-    for (auto& [key, index] : t_index_[pred]) {
-      if (key.first != time) continue;
-      index.buckets[stored[key.second]].push_back(&stored);
+    auto snapshot = t_index_[pred].find(time);
+    if (snapshot == t_index_[pred].end()) return;
+    for (auto& [col, index] : snapshot->second) {
+      index.buckets[stored[col]].push_back(&stored);
     }
   } else {
     if (pred >= nt_index_.size() || nt_index_[pred].empty()) return;
     for (auto& [col, index] : nt_index_[pred]) {
       index.buckets[stored[col]].push_back(&stored);
     }
+  }
+}
+
+void Interpretation::SetConcurrentProbes(bool enabled) {
+  if (!enabled) {
+    probe_mu_.reset();
+    return;
+  }
+  // Pre-size the index vectors so probes never resize them concurrently.
+  if (nt_index_.size() < non_temporal_.size()) {
+    nt_index_.resize(non_temporal_.size());
+  }
+  if (t_index_.size() < temporal_.size()) t_index_.resize(temporal_.size());
+  if (probe_mu_ == nullptr) {
+    probe_mu_ = std::make_unique<std::shared_mutex>();
   }
 }
 
@@ -84,10 +101,32 @@ bool Interpretation::Insert(PredicateId pred, int64_t time, Tuple args) {
   return inserted;
 }
 
+const std::vector<const Tuple*>* Interpretation::FindBucket(
+    const ColumnBuckets& index, SymbolId value) {
+  auto bucket = index.buckets.find(value);
+  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+}
+
 const std::vector<const Tuple*>* Interpretation::ProbeNonTemporal(
     PredicateId pred, uint32_t col, SymbolId value) const {
   assert(!vocab_->predicate(pred).is_temporal);
   if (pred >= non_temporal_.size()) return nullptr;
+  if (probe_mu_ != nullptr) {
+    // Concurrent mode: optimistic shared-lock lookup, exclusive build.
+    {
+      std::shared_lock<std::shared_mutex> lock(*probe_mu_);
+      auto it = nt_index_[pred].find(col);
+      if (it != nt_index_[pred].end()) return FindBucket(it->second, value);
+    }
+    std::unique_lock<std::shared_mutex> lock(*probe_mu_);
+    auto [it, fresh] = nt_index_[pred].try_emplace(col);
+    if (fresh) {
+      for (const Tuple& tuple : non_temporal_[pred]) {
+        it->second.buckets[tuple[col]].push_back(&tuple);
+      }
+    }
+    return FindBucket(it->second, value);
+  }
   if (nt_index_.size() < non_temporal_.size()) {
     nt_index_.resize(non_temporal_.size());
   }
@@ -98,8 +137,7 @@ const std::vector<const Tuple*>* Interpretation::ProbeNonTemporal(
       index.buckets[tuple[col]].push_back(&tuple);
     }
   }
-  auto bucket = index.buckets.find(value);
-  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+  return FindBucket(index, value);
 }
 
 const std::vector<const Tuple*>* Interpretation::ProbeSnapshot(
@@ -108,16 +146,33 @@ const std::vector<const Tuple*>* Interpretation::ProbeSnapshot(
   if (pred >= temporal_.size()) return nullptr;
   auto cell = temporal_[pred].find(time);
   if (cell == temporal_[pred].end()) return nullptr;
+  if (probe_mu_ != nullptr) {
+    {
+      std::shared_lock<std::shared_mutex> lock(*probe_mu_);
+      auto snapshot = t_index_[pred].find(time);
+      if (snapshot != t_index_[pred].end()) {
+        auto it = snapshot->second.find(col);
+        if (it != snapshot->second.end()) return FindBucket(it->second, value);
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(*probe_mu_);
+    auto [it, fresh] = t_index_[pred][time].try_emplace(col);
+    if (fresh) {
+      for (const Tuple& tuple : cell->second) {
+        it->second.buckets[tuple[col]].push_back(&tuple);
+      }
+    }
+    return FindBucket(it->second, value);
+  }
   if (t_index_.size() < temporal_.size()) t_index_.resize(temporal_.size());
-  auto [it, fresh] = t_index_[pred].try_emplace(std::make_pair(time, col));
+  auto [it, fresh] = t_index_[pred][time].try_emplace(col);
   ColumnBuckets& index = it->second;
   if (fresh) {
     for (const Tuple& tuple : cell->second) {
       index.buckets[tuple[col]].push_back(&tuple);
     }
   }
-  auto bucket = index.buckets.find(value);
-  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+  return FindBucket(index, value);
 }
 
 void Interpretation::InsertDatabase(const Database& db) {
@@ -200,8 +255,11 @@ void Interpretation::TruncateInPlace(int64_t m) {
       it = timeline.erase(it);
     }
   }
-  // Snapshot indexes hold pointers into the erased sets.
-  t_index_.clear();
+  // Snapshot indexes of the erased suffix hold pointers into the erased
+  // sets; indexes of surviving snapshots stay valid (map nodes are stable).
+  for (auto& per_pred : t_index_) {
+    per_pred.erase(per_pred.upper_bound(m), per_pred.end());
+  }
 }
 
 bool Interpretation::NonTemporalEquals(const Interpretation& other) const {

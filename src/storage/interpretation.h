@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "ast/atom.h"
@@ -102,6 +103,15 @@ class Interpretation {
                                                  int64_t time, uint32_t col,
                                                  SymbolId value) const;
 
+  /// Concurrent-probe mode: while enabled, lazy index construction inside
+  /// ProbeNonTemporal / ProbeSnapshot is guarded by a reader-writer lock so
+  /// that multiple threads may probe this interpretation simultaneously
+  /// (the parallel semi-naive evaluator probes `full` and `delta` from every
+  /// worker). Inserts remain single-threaded: callers must still serialise
+  /// Insert/Truncate against probes. Disabled (no locking, identical to the
+  /// historical behaviour) by default.
+  void SetConcurrentProbes(bool enabled);
+
  private:
   /// value -> tuples bucket map of one indexed column.
   struct ColumnBuckets {
@@ -116,13 +126,21 @@ class Interpretation {
   std::size_t size_ = 0;
 
   // Lazily built column indexes (see ProbeNonTemporal / ProbeSnapshot).
+  // The temporal index is keyed time-first so that an insert into snapshot
+  // `t` only touches the column indexes of `t` (a map lookup), never the
+  // entries of other snapshots, and so truncation can drop exactly the
+  // indexes of the truncated suffix.
   mutable std::vector<std::map<uint32_t, ColumnBuckets>> nt_index_;
-  mutable std::vector<std::map<std::pair<int64_t, uint32_t>, ColumnBuckets>>
+  mutable std::vector<std::map<int64_t, std::map<uint32_t, ColumnBuckets>>>
       t_index_;
+  // Non-null while concurrent-probe mode is on (see SetConcurrentProbes).
+  mutable std::unique_ptr<std::shared_mutex> probe_mu_;
 
   void EnsurePred(PredicateId pred);
   void IndexInsertedTuple(PredicateId pred, bool temporal, int64_t time,
                           const Tuple& stored);
+  static const std::vector<const Tuple*>* FindBucket(const ColumnBuckets& index,
+                                                     SymbolId value);
 };
 
 }  // namespace chronolog

@@ -1,0 +1,69 @@
+#include "util/thread_pool.h"
+
+namespace chronolog {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainCurrentJob() {
+  // Precondition: mu_ held. Claims one index at a time so that uneven task
+  // costs balance naturally; releases the lock around the user function.
+  while (job_next_ < job_size_) {
+    std::size_t i = job_next_++;
+    ++job_pending_;
+    const std::function<void(std::size_t)>* fn = job_fn_;
+    mu_.unlock();
+    (*fn)(i);
+    mu_.lock();
+    --job_pending_;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  while (true) {
+    job_ready_.wait(lock, [&] {
+      return shutdown_ || (job_fn_ != nullptr && job_generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    DrainCurrentJob();
+    if (job_pending_ == 0) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_fn_ = &fn;
+  job_size_ = n;
+  job_next_ = 0;
+  job_pending_ = 0;
+  ++job_generation_;
+  job_ready_.notify_all();
+  DrainCurrentJob();  // the calling thread participates
+  job_done_.wait(lock, [&] { return job_next_ >= job_size_ && job_pending_ == 0; });
+  job_fn_ = nullptr;
+}
+
+}  // namespace chronolog

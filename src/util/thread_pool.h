@@ -1,0 +1,62 @@
+#ifndef CHRONOLOG_UTIL_THREAD_POOL_H_
+#define CHRONOLOG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chronolog {
+
+/// A fixed-size pool of worker threads for data-parallel loops. No work
+/// stealing and no task queue beyond a shared index counter: callers hand the
+/// pool one `fn(i)` at a time via ParallelFor and every worker (plus the
+/// calling thread) claims indexes until the range is exhausted. This is all
+/// the structure the semi-naive evaluator needs — each round is a flat list
+/// of independent (rule, delta-position, shard) tasks followed by a barrier.
+///
+/// Built on std::thread only; no external dependencies.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// every ParallelFor, so `num_threads` counts it). `num_threads <= 1`
+  /// spawns nothing and ParallelFor degenerates to a sequential loop.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(i)` for every `i` in `[0, n)` across the pool and returns when
+  /// all calls have completed (full barrier). `fn` must be safe to invoke
+  /// concurrently from different threads for different `i`. Exceptions must
+  /// not escape `fn`.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims indexes from the current job until none remain; returns the
+  /// number of indexes this thread completed.
+  void DrainCurrentJob();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;  // null = idle
+  std::size_t job_size_ = 0;
+  std::size_t job_next_ = 0;     // next unclaimed index
+  std::size_t job_pending_ = 0;  // claimed but not yet finished
+  uint64_t job_generation_ = 0;  // bumps per ParallelFor; wakes sleepers
+  bool shutdown_ = false;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_THREAD_POOL_H_
