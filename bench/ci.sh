@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: a regular Release build + full ctest run, followed by an
+# AddressSanitizer/UBSan build (CHRONOLOG_SANITIZE, see CMakeLists.txt) of
+# the same tree and a second full ctest run under the sanitizers.
+#
+# Usage: bench/ci.sh [build_dir] [sanitizer_build_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SAN_BUILD_DIR="${2:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== release build + tests ($BUILD_DIR) =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== sanitizer build + tests ($SAN_BUILD_DIR) =="
+cmake -B "$SAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DCHRONOLOG_SANITIZE=address;undefined"
+cmake --build "$SAN_BUILD_DIR" -j "$JOBS"
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "ci.sh: all checks passed"

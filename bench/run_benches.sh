@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Runs the two headline benchmark suites (relational-specification builds and
 # algorithm-BT scaling) and distils their google-benchmark JSON into
-# BENCH_PR1.json: one record per benchmark with the median wall time in
+# BENCH_PR<n>.json: one record per benchmark with the median wall time in
 # milliseconds, the thread count it ran with, and the temporal horizon
 # (|T| representatives) where the workload reports one.
 #
 # Usage: bench/run_benches.sh [build_dir] [output_json]
+# The default output name is BENCH_PR${BENCH_PR}.json (BENCH_PR defaults to
+# the current PR number below) so successive PRs don't overwrite each
+# other's snapshots.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR1.json}"
+OUT="${2:-BENCH_PR${BENCH_PR:-2}.json}"
 REPS="${BENCH_REPETITIONS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT

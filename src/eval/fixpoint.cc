@@ -109,8 +109,11 @@ Status RunSemiNaiveRounds(const Program& program,
 
     // Derivations are buffered into `next_delta` and merged into `full`
     // after the round: inserting into `full` mid-evaluation would invalidate
-    // the tuple-set iterators the rule evaluator is walking.
+    // the tuple-set iterators the rule evaluator is walking. Scratch buffers
+    // never serve SnapshotHash queries, so they skip hash maintenance; only
+    // `full` — the interpretation callers keep — pays for it.
     Interpretation next_delta(program.vocab_ptr());
+    next_delta.DisableSnapshotHashing();
     bool overflow = false;
     // Per-phase timers are sampled only on rounds with a non-trivial delta:
     // clock reads would otherwise dominate workloads with 10^5 one-fact
@@ -149,8 +152,9 @@ Status RunSemiNaiveRounds(const Program& program,
         for (uint32_t s = 0; s < shards; ++s) tasks.push_back({pair, s});
       }
 
-      std::vector<Interpretation> buffers(
-          tasks.size(), Interpretation(program.vocab_ptr()));
+      Interpretation buffer_proto(program.vocab_ptr());
+      buffer_proto.DisableSnapshotHashing();  // copies inherit the flag
+      std::vector<Interpretation> buffers(tasks.size(), buffer_proto);
       std::vector<EvalStats> task_stats(tasks.size());
       std::atomic<bool> overflow_flag{false};
       full.SetConcurrentProbes(true);
@@ -263,6 +267,7 @@ Result<Interpretation> SemiNaiveFixpoint(const Program& program,
   const Vocabulary& vocab = program.vocab();
   Interpretation full(program.vocab_ptr());
   Interpretation delta(program.vocab_ptr());
+  delta.DisableSnapshotHashing();
   for (const GroundAtom& f : db.facts()) {
     if (!WithinBound(vocab, f, options.max_time)) continue;
     if (full.Insert(f)) delta.Insert(f);
@@ -292,6 +297,7 @@ Result<Interpretation> ExtendFixpoint(const Program& program,
 
   Interpretation full = std::move(prior);
   Interpretation delta(program.vocab_ptr());
+  delta.DisableSnapshotHashing();
 
   // (a) Database facts the old bound truncated away.
   for (const GroundAtom& f : db.facts()) {

@@ -69,7 +69,7 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   const int64_t g = std::max<int64_t>(1, program.MaxTemporalDepth());
 
   ForwardResult result{Interpretation(program.vocab_ptr()), Period{}, c, 0,
-                       {}, {}};
+                       {}};
   Interpretation& model = result.model;
   model.InsertDatabase(db);
 
@@ -139,9 +139,10 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   }
 
   // Window detection: start times of previously seen windows of g states,
-  // bucketed by window hash. Hashes are combined from per-state hashes so no
-  // window (or state) is ever copied; candidates with equal hashes are
-  // verified against the state vector directly.
+  // bucketed by window hash. Per-state hashes are read in O(1) from the
+  // model's incrementally maintained snapshot hashes — no State is ever
+  // extracted during simulation; candidates with equal window hashes are
+  // verified against the live snapshots directly.
   std::vector<std::size_t> state_hashes;
   std::unordered_map<std::size_t, std::vector<int64_t>> seen_windows;
   auto window_hash = [&](int64_t s) {
@@ -153,10 +154,13 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   };
   auto windows_equal = [&](int64_t s1, int64_t s2) {
     for (int64_t i = 0; i < g; ++i) {
-      if (!(result.states[static_cast<std::size_t>(s1 + i)] ==
-            result.states[static_cast<std::size_t>(s2 + i)])) {
+      // Per-state hash first (cheap refutation of window-hash collisions),
+      // then the exact in-place snapshot comparison.
+      if (state_hashes[static_cast<std::size_t>(s1 + i)] !=
+          state_hashes[static_cast<std::size_t>(s2 + i)]) {
         return false;
       }
+      if (!model.SnapshotEquals(s1 + i, s2 + i)) return false;
     }
     return true;
   };
@@ -218,8 +222,7 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
       }
     }
 
-    result.states.push_back(State::FromInterpretation(model, t));
-    state_hashes.push_back(result.states.back().Hash());
+    state_hashes.push_back(model.SnapshotHash(t));
     result.horizon = t;
 
     // Period detection: windows of g consecutive states starting at
@@ -235,6 +238,16 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
       }
     }
     if (s1 < 0) {
+      // Bound bucket growth. Distinct windows sharing one 64-bit window hash
+      // are genuine collisions (equal windows end the loop), so a long
+      // non-periodic prefix must not be allowed to grow one bucket into an
+      // O(n) probe chain. Capping at a constant and evicting the oldest
+      // start keeps probes O(1); if an evicted start ever was the true cycle
+      // entry, the orbit is deterministic, so its successor windows (stored
+      // in other buckets) still repeat and detection ends at most a few
+      // steps later with the same exact cycle length p.
+      constexpr std::size_t kMaxWindowBucket = 8;
+      if (bucket.size() >= kMaxWindowBucket) bucket.erase(bucket.begin());
       bucket.push_back(s);
       continue;
     }
@@ -242,9 +255,13 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
     // First repeat: cycle entry s1, exact cycle length p.
     int64_t p = s - s1;
     // The periodicity may extend below the detection threshold; walk k down
-    // to the minimal start for which M[k] = M[k+p] still holds.
+    // to the minimal start for which M[k] = M[k+p] still holds (hash
+    // inequality refutes in O(1), hash equality is verified in place).
     int64_t k = s1;
-    while (k > 0 && result.states[k - 1] == result.states[k - 1 + p]) --k;
+    while (k > 0 && state_hashes[k - 1] == state_hashes[k - 1 + p] &&
+           model.SnapshotEquals(k - 1, k - 1 + p)) {
+      --k;
+    }
     result.period.b = std::max<int64_t>(0, k - c);
     result.period.p = p;
     return result;

@@ -62,10 +62,10 @@ struct ForwardResult {
   /// Maximum temporal depth `c` of the database.
   int64_t c = 0;
   /// Last timestep materialised (>= b + c + 2p - 1, enough for a
-  /// relational specification).
+  /// relational specification). Per-time states are not materialised — the
+  /// simulator reads the model's incrementally maintained snapshot hashes;
+  /// callers that want explicit states use ExtractStates(model, 0, horizon).
   int64_t horizon = 0;
-  /// `M[0], ..., M[horizon]`.
-  std::vector<State> states;
   EvalStats stats;
 };
 

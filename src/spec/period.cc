@@ -27,30 +27,97 @@ bool FindMinimalPeriodInWindow(const std::vector<State>& states,
   return false;
 }
 
-namespace {
-
-/// Appends `M[from...horizon]` to `states` (which must already hold
-/// `M[0...from-1]`), timing the extraction into `stats->extract_ms`.
-void ExtractStateSuffix(const Interpretation& model, int64_t from,
-                        int64_t horizon, std::vector<State>* states,
-                        EvalStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
-  states->reserve(static_cast<std::size_t>(horizon) + 1);
+void PeriodCandidateTracker::Update(const Interpretation& model,
+                                    int64_t horizon, int64_t changed_from) {
+  const int64_t n_old = static_cast<int64_t>(hashes_.size());
+  const int64_t from = std::max<int64_t>(0, std::min(changed_from, n_old));
+  hashes_.resize(static_cast<std::size_t>(horizon) + 1);
   for (int64_t t = from; t <= horizon; ++t) {
-    states->push_back(State::FromInterpretation(model, t));
+    hashes_[static_cast<std::size_t>(t)] = model.SnapshotHash(t);
   }
-  stats->extract_ms +=
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  if (from < n_old) {
+    // History rewritten below the previously covered horizon: every cached
+    // frontier may rest on stale comparisons. Drop them all; the next Find
+    // re-scans lazily, exactly like a from-scratch probe.
+    candidates_.clear();
+  }
 }
+
+bool PeriodCandidateTracker::Find(int64_t min_cycles, int64_t* k_out,
+                                  int64_t* p_out) {
+  const int64_t n = static_cast<int64_t>(hashes_.size());
+  const int64_t p_max = n / (min_cycles + 1);
+  if (static_cast<int64_t>(candidates_.size()) < p_max) {
+    candidates_.resize(static_cast<std::size_t>(p_max));
+  }
+  for (int64_t p = 1; p <= p_max; ++p) {
+    Candidate& cand = candidates_[static_cast<std::size_t>(p - 1)];
+    int64_t k;
+    if (cand.scanned_n < p + 1) {
+      // First scan for this period: walk down from the end until the first
+      // mismatch, as the reference scan does.
+      k = n - p;
+      while (k > 0 && hashes_[static_cast<std::size_t>(k - 1)] ==
+                          hashes_[static_cast<std::size_t>(k - 1 + p)]) {
+        --k;
+      }
+    } else {
+      // Resume: only positions t >= scanned_n - p compare against hashes the
+      // previous scan had not seen. A mismatch among them caps the suffix;
+      // otherwise the old frontier stands (the comparison at cand.k - 1, if
+      // any, involved only unchanged hashes and still mismatches).
+      const int64_t floor_t = cand.scanned_n - p;
+      int64_t t = n - 1 - p;
+      while (t >= floor_t && hashes_[static_cast<std::size_t>(t)] ==
+                                 hashes_[static_cast<std::size_t>(t + p)]) {
+        --t;
+      }
+      k = t >= floor_t ? t + 1 : cand.k;
+    }
+    cand.k = k;
+    cand.scanned_n = n;
+    if (k == n - p) continue;  // no trailing agreement at all
+    if (n - k >= (min_cycles + 1) * p) {
+      *k_out = k;
+      *p_out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PeriodCandidateTracker::VerifyCandidate(const Interpretation& model,
+                                             int64_t k, int64_t p) {
+  const int64_t n = static_cast<int64_t>(hashes_.size());
+  for (int64_t t = n - 1 - p; t >= k; --t) {
+    if (!model.SnapshotEquals(t, t + p)) {
+      // Genuine hash collision: the states differ although their hashes
+      // agree. Record the refuted position as this period's frontier so the
+      // scan never re-proposes it.
+      candidates_[static_cast<std::size_t>(p - 1)].k =
+          std::max(candidates_[static_cast<std::size_t>(p - 1)].k, t + 1);
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t NextDoublingHorizon(int64_t m, int64_t max_horizon) {
+  // `2m <= max_horizon` tested without computing 2m: for max_horizon above
+  // INT64_MAX / 2 the naive doubling wraps negative and the probe loop spins
+  // on a nonsense horizon instead of reporting exhaustion.
+  if (m > max_horizon / 2) return -1;
+  return 2 * m;
+}
+
+namespace {
 
 Result<PeriodDetection> DetectByDoubling(const Program& program,
                                          const Database& db,
                                          const PeriodDetectionOptions& options,
                                          int64_t c) {
   PeriodDetection result{Period{}, c, 0, Interpretation(program.vocab_ptr()),
-                         {}, /*exact=*/false, {}};
+                         /*exact=*/false, {}};
   const int64_t g = std::max<int64_t>(1, program.MaxTemporalDepth());
 
   int64_t m = std::max(options.initial_horizon, c + 4 * g + 4);
@@ -58,11 +125,12 @@ Result<PeriodDetection> DetectByDoubling(const Program& program,
   int64_t prev_k = -1;
   int64_t prev_p = -1;
 
-  // The model and its extracted states persist across doublings: probing
+  // The model and the candidate tracker persist across doublings: probing
   // horizon 2m extends the closed horizon-m model instead of recomputing it
-  // (ExtendFixpoint), and only states the extension touched are re-extracted.
+  // (ExtendFixpoint), and the per-period mismatch frontiers resume over the
+  // model's snapshot hashes instead of re-extracting and re-scanning states.
   Interpretation model(program.vocab_ptr());
-  std::vector<State> states;
+  PeriodCandidateTracker tracker;
   int64_t prev_m = -1;
 
   while (m <= options.max_horizon) {
@@ -71,44 +139,58 @@ Result<PeriodDetection> DetectByDoubling(const Program& program,
     fp.max_facts = options.max_facts;
     fp.num_threads = options.num_threads;
     EvalStats round_stats;
+    int64_t changed_from = 0;
     if (prev_m < 0) {
       CHRONOLOG_ASSIGN_OR_RETURN(
           model, SemiNaiveFixpoint(program, db, fp, &round_stats));
-      ExtractStateSuffix(model, 0, m, &states, &round_stats);
     } else {
       CHRONOLOG_ASSIGN_OR_RETURN(
           model,
           ExtendFixpoint(program, db, std::move(model), prev_m, fp,
                          &round_stats));
-      // States strictly below the earliest time the extension touched are
+      // Hashes strictly below the earliest time the extension touched are
       // unchanged (a non-progressive extension can rewrite history: newly
       // admitted facts feed backward rules).
-      int64_t extract_from = std::min(prev_m + 1, round_stats.min_new_time);
-      states.resize(static_cast<std::size_t>(extract_from));
-      ExtractStateSuffix(model, extract_from, m, &states, &round_stats);
+      changed_from = std::min(prev_m + 1, round_stats.min_new_time);
+    }
+    {
+      // What remains of the old extraction phase: an O(changed suffix)
+      // refresh of cached hash words.
+      const auto start = std::chrono::steady_clock::now();
+      tracker.Update(model, m, changed_from);
+      round_stats.extract_ms +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
     }
     result.stats.Add(round_stats);
 
     int64_t k = 0;
     int64_t p = 0;
-    if (FindMinimalPeriodInWindow(states, /*min_cycles=*/3, &k, &p)) {
+    if (tracker.Find(/*min_cycles=*/3, &k, &p)) {
       if (have_candidate && k == prev_k && p == prev_p) {
-        // Stable across a doubling: accept.
-        result.period.b = std::max<int64_t>(0, k - c);
-        result.period.p = p;
-        result.horizon = m;
-        result.model = std::move(model);
-        result.states = std::move(states);
-        return result;
+        if (tracker.VerifyCandidate(model, k, p)) {
+          // Stable across a doubling and collision-checked: accept.
+          result.period.b = std::max<int64_t>(0, k - c);
+          result.period.p = p;
+          result.horizon = m;
+          result.model = std::move(model);
+          return result;
+        }
+        // Collision refuted the candidate; its frontier moved, restart the
+        // stability count.
+        have_candidate = false;
+      } else {
+        have_candidate = true;
+        prev_k = k;
+        prev_p = p;
       }
-      have_candidate = true;
-      prev_k = k;
-      prev_p = p;
     } else {
       have_candidate = false;
     }
     prev_m = m;
-    m *= 2;
+    m = NextDoublingHorizon(m, options.max_horizon);
+    if (m < 0) break;
   }
   return ResourceExhaustedError(
       "DetectPeriod: no stable period within max_horizon = " +
@@ -133,7 +215,6 @@ Result<PeriodDetection> DetectPeriod(const Program& program,
                            c,
                            forward.horizon,
                            std::move(forward.model),
-                           std::move(forward.states),
                            /*exact=*/true,
                            forward.stats};
     return result;

@@ -28,15 +28,16 @@ struct PeriodDetectionOptions {
   int num_threads = 1;
 };
 
-/// Outcome of period detection: the minimal period of `M_{Z∧D}`, the least
-/// model materialised far enough to build a relational specification, and
-/// the per-time states used for detection.
+/// Outcome of period detection: the minimal period of `M_{Z∧D}` and the
+/// least model materialised far enough to build a relational specification.
+/// Per-time states are not materialised (detection runs on the model's
+/// incrementally maintained snapshot hashes); callers that want them use
+/// ExtractStates(model, 0, horizon).
 struct PeriodDetection {
   Period period;
   int64_t c = 0;        // max temporal depth of the database
   int64_t horizon = 0;  // model materialised on [0...horizon]
   Interpretation model;
-  std::vector<State> states;  // M[0...horizon]
   /// True when produced by the exact forward detector (progressive
   /// programs); false when produced by verified doubling, which certifies
   /// the period on a window of at least two extra cycles but is not a proof.
@@ -65,6 +66,53 @@ Result<PeriodDetection> DetectPeriod(
 bool FindMinimalPeriodInWindow(const std::vector<State>& states,
                                int64_t min_cycles, int64_t* k_out,
                                int64_t* p_out);
+
+/// Incrementally maintained mirror of FindMinimalPeriodInWindow over the
+/// snapshot-hash vector of a growing (occasionally history-rewritten) model.
+/// The verified-doubling detector keeps one tracker alive across doublings:
+/// instead of re-extracting every state and re-scanning the full window at
+/// each probe, per-period mismatch frontiers are carried forward and only
+/// the hashes from `changed_from` on are re-read.
+///
+/// Hash agreement is necessary but not sufficient for state equality, so the
+/// winning candidate is verified against the live snapshots (VerifyCandidate)
+/// before a caller accepts it; a failed verification (a genuine 64-bit hash
+/// collision) tightens that period's frontier so the scan converges to the
+/// same answer the from-scratch state scan would produce.
+class PeriodCandidateTracker {
+ public:
+  /// Refreshes the cached hash vector to cover `M[0...horizon]` of `model`.
+  /// `changed_from` is the smallest time whose snapshot may differ from the
+  /// previous call (`min(prev_horizon + 1, EvalStats::min_new_time)`); when
+  /// it rewrites history (falls below the previously covered horizon), all
+  /// candidate frontiers are invalidated and the next Find re-scans.
+  void Update(const Interpretation& model, int64_t horizon,
+              int64_t changed_from);
+
+  /// Equivalent of FindMinimalPeriodInWindow(states, min_cycles, ...) on the
+  /// cached hash vector, resuming each period's scan where the previous call
+  /// left off. `min_cycles` must not vary across calls on one tracker.
+  bool Find(int64_t min_cycles, int64_t* k_out, int64_t* p_out);
+
+  /// Exact in-place verification that `M[t] = M[t+p]` holds on all
+  /// `t in [k, n-1-p]` (the evidence window behind a Find result). On a hash
+  /// collision the frontier of `p` is advanced past the refuted position and
+  /// false is returned — re-probe via Find.
+  bool VerifyCandidate(const Interpretation& model, int64_t k, int64_t p);
+
+ private:
+  struct Candidate {
+    int64_t k = 0;          // agreeing-suffix start at the last scan
+    int64_t scanned_n = 0;  // hash-vector size the last scan covered
+  };
+  std::vector<std::size_t> hashes_;
+  std::vector<Candidate> candidates_;  // candidates_[p - 1] tracks period p
+};
+
+/// Next probe horizon of the verified-doubling loop: `2m`, or -1 when the
+/// doubling would exceed `max_horizon` — computed without overflowing even
+/// for `max_horizon` above INT64_MAX / 2. Exposed for regression tests.
+int64_t NextDoublingHorizon(int64_t m, int64_t max_horizon);
 
 }  // namespace chronolog
 

@@ -21,7 +21,9 @@ Interpretation::Interpretation(const Interpretation& other)
     : vocab_(other.vocab_),
       non_temporal_(other.non_temporal_),
       temporal_(other.temporal_),
-      size_(other.size_) {}
+      size_(other.size_),
+      snapshot_hashes_(other.snapshot_hashes_),
+      snapshot_hashing_(other.snapshot_hashing_) {}
 
 Interpretation& Interpretation::operator=(const Interpretation& other) {
   if (this == &other) return *this;
@@ -29,6 +31,8 @@ Interpretation& Interpretation::operator=(const Interpretation& other) {
   non_temporal_ = other.non_temporal_;
   temporal_ = other.temporal_;
   size_ = other.size_;
+  snapshot_hashes_ = other.snapshot_hashes_;
+  snapshot_hashing_ = other.snapshot_hashing_;
   nt_index_.clear();
   t_index_.clear();
   return *this;
@@ -96,9 +100,36 @@ bool Interpretation::Insert(PredicateId pred, int64_t time, Tuple args) {
   }
   if (inserted) {
     ++size_;
+    if (temporal && snapshot_hashing_) {
+      // `+ 1` carries the fact-count term of State::Hash.
+      snapshot_hashes_[time] += FactHash(pred, *stored) + 1;
+    }
     IndexInsertedTuple(pred, temporal, time, *stored);
   }
   return inserted;
+}
+
+std::size_t Interpretation::SnapshotHash(int64_t time) const {
+  assert(snapshot_hashing_);
+  auto it = snapshot_hashes_.find(time);
+  return it == snapshot_hashes_.end() ? 0 : it->second;
+}
+
+bool Interpretation::SnapshotEquals(int64_t t1, int64_t t2) const {
+  if (t1 == t2) return true;
+  for (const auto& timeline : temporal_) {
+    auto i1 = timeline.find(t1);
+    auto i2 = timeline.find(t2);
+    const TupleSet& a = i1 == timeline.end() ? kEmptyTupleSet : i1->second;
+    const TupleSet& b = i2 == timeline.end() ? kEmptyTupleSet : i2->second;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+void Interpretation::DisableSnapshotHashing() {
+  snapshot_hashing_ = false;
+  snapshot_hashes_.clear();
 }
 
 const std::vector<const Tuple*>* Interpretation::FindBucket(
@@ -254,6 +285,11 @@ void Interpretation::TruncateInPlace(int64_t m) {
       size_ -= it->second.size();
       it = timeline.erase(it);
     }
+  }
+  // Truncated snapshots revert to the empty state, whose hash is the map's
+  // implicit default (0).
+  for (auto it = snapshot_hashes_.begin(); it != snapshot_hashes_.end();) {
+    it = it->first > m ? snapshot_hashes_.erase(it) : std::next(it);
   }
   // Snapshot indexes of the erased suffix hold pointers into the erased
   // sets; indexes of surviving snapshots stay valid (map nodes are stable).

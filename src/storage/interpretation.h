@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/atom.h"
@@ -67,6 +68,26 @@ class Interpretation {
   /// Largest time point carrying any temporal fact; -1 when none.
   int64_t MaxTime() const;
 
+  /// O(1) content hash of the state `M[time]` (the snapshot with the
+  /// temporal argument projected out), maintained incrementally on every
+  /// insert: equals `State::FromInterpretation(*this, time).Hash()` without
+  /// materialising the state. Empty snapshots hash to 0. Equal hashes do not
+  /// prove equal states — verify collisions with SnapshotEquals.
+  std::size_t SnapshotHash(int64_t time) const;
+
+  /// Exact comparison of the states `M[t1]` and `M[t2]`, in place (no State
+  /// materialisation) — the hash-collision verification step of the period
+  /// detectors.
+  bool SnapshotEquals(int64_t t1, int64_t t2) const;
+
+  /// Turns off snapshot-hash maintenance for this instance. For scratch
+  /// interpretations (semi-naive deltas, per-task derivation buffers) that
+  /// are only enumerated and merged, never queried through SnapshotHash:
+  /// skipping the per-insert hash update keeps the hot derivation path free
+  /// of the bookkeeping. Irreversible; copies inherit the setting;
+  /// SnapshotHash must not be called afterwards (asserts).
+  void DisableSnapshotHashing();
+
   /// Enumerates every stored fact. `fn` receives (pred, time, tuple); `time`
   /// is 0 for non-temporal predicates.
   void ForEach(
@@ -124,6 +145,13 @@ class Interpretation {
   std::vector<TupleSet> non_temporal_;
   std::vector<std::map<int64_t, TupleSet>> temporal_;
   std::size_t size_ = 0;
+
+  // Per-timestep state hashes: snapshot_hashes_[t] ==
+  // State::FromInterpretation(*this, t).Hash(). The combine is a commutative
+  // sum of finalized per-fact hashes plus the fact count, so one insert is an
+  // O(1) `+=` and absent entries mean the empty-state hash (0).
+  std::unordered_map<int64_t, std::size_t> snapshot_hashes_;
+  bool snapshot_hashing_ = true;
 
   // Lazily built column indexes (see ProbeNonTemporal / ProbeSnapshot).
   // The temporal index is keyed time-first so that an insert into snapshot

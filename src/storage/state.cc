@@ -18,12 +18,19 @@ State State::FromInterpretation(const Interpretation& interp, int64_t t) {
 }
 
 std::size_t State::Hash() const {
-  std::size_t seed = facts_.size();
-  for (const auto& [pred, tuple] : facts_) {
-    HashCombine(seed, static_cast<std::size_t>(pred));
-    seed = HashRange(tuple.data(), tuple.size(), seed);
+  std::size_t hash = facts_.size();
+  for (const auto& [pred, tuple] : facts_) hash += FactHash(pred, tuple);
+  return hash;
+}
+
+std::vector<State> ExtractStates(const Interpretation& interp, int64_t from,
+                                 int64_t to) {
+  std::vector<State> states;
+  states.reserve(static_cast<std::size_t>(std::max<int64_t>(0, to - from + 1)));
+  for (int64_t t = from; t <= to; ++t) {
+    states.push_back(State::FromInterpretation(interp, t));
   }
-  return seed;
+  return states;
 }
 
 StateWindow StateWindow::FromInterpretation(const Interpretation& interp,

@@ -30,6 +30,10 @@ class State {
     return facts_;
   }
 
+  /// Order-independent content hash: `size + Σ FactHash(pred, tuple)`. The
+  /// combine is commutative so that `Interpretation::SnapshotHash(t)` can
+  /// maintain the exact same value incrementally, one fact at a time, without
+  /// ever materialising the state.
   std::size_t Hash() const;
 
   friend bool operator==(const State& a, const State& b) {
@@ -44,6 +48,13 @@ class State {
 struct StateHash {
   std::size_t operator()(const State& s) const { return s.Hash(); }
 };
+
+/// Materialises `M[from], ..., M[to]` from an interpretation. Detection no
+/// longer needs eagerly extracted state vectors (it reads the incrementally
+/// maintained snapshot hashes); this helper serves callers that still want
+/// the explicit states, e.g. cross-checking tests.
+std::vector<State> ExtractStates(const Interpretation& interp, int64_t from,
+                                 int64_t to);
 
 /// A window of `g` consecutive states `M[t], ..., M[t+g-1]`. For semi-normal
 /// rules (look-back depth `g > 1`) the periodicity condition compares windows

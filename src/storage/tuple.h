@@ -17,6 +17,16 @@ using Tuple = std::vector<SymbolId>;
 /// temporal predicates).
 using TupleSet = std::unordered_set<Tuple, VectorHash>;
 
+/// Finalized hash of one time-projected fact `(pred, args)` — the unit of the
+/// order-independent snapshot hash. `State::Hash()` and the incrementally
+/// maintained `Interpretation::SnapshotHash()` both sum these per-fact values
+/// (plus the fact count), so the two must use the exact same definition.
+inline std::size_t FactHash(std::size_t pred, const Tuple& args) {
+  std::size_t seed = args.size();
+  HashCombine(seed, pred);
+  return Mix64(HashRange(args.data(), args.size(), seed));
+}
+
 }  // namespace chronolog
 
 #endif  // CHRONOLOG_STORAGE_TUPLE_H_

@@ -23,6 +23,18 @@ std::size_t HashRange(const Int* data, std::size_t n, std::size_t seed = 0) {
   return seed;
 }
 
+/// Strong 64-bit finalizer (splitmix64). Used to decorrelate per-fact hashes
+/// before they enter an order-independent (sum) combine: without finalization
+/// the additive combine would let structured inputs cancel.
+inline std::size_t Mix64(std::size_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Hash functor for vectors of integral values (tuples of interned symbols).
 struct VectorHash {
   template <typename Int>

@@ -80,7 +80,8 @@ TEST(ForwardTest, DyingPredicateHasPeriodOne) {
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->period.p, 1);
   // All states past c+1 are empty.
-  EXPECT_TRUE(result->states.back().empty());
+  EXPECT_TRUE(State::FromInterpretation(result->model, result->horizon)
+                  .empty());
 }
 
 TEST(ForwardTest, TokenRingPeriodIsLcm) {
@@ -138,7 +139,7 @@ TEST(ForwardTest, SkiScheduleHasYearPeriod) {
   // property: states repeat with the detected period.
   EXPECT_GT(result->period.p, 0);
   EXPECT_EQ(result->period.p % 1, 0);
-  const auto& states = result->states;
+  std::vector<State> states = ExtractStates(result->model, 0, result->horizon);
   int64_t start = result->period.b + result->c;
   for (int64_t t = start;
        t + result->period.p < static_cast<int64_t>(states.size()); ++t) {
@@ -176,7 +177,7 @@ TEST(ForwardTest, MinimalityNoSmallerPeriodWorks) {
   auto result = ForwardSimulate(unit.program, unit.database);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->period.p, 6);
-  const auto& states = result->states;
+  std::vector<State> states = ExtractStates(result->model, 0, result->horizon);
   int64_t start = result->period.b + result->c;
   for (int64_t p = 1; p < 6; ++p) {
     bool ok_everywhere = true;

@@ -119,7 +119,8 @@ TEST_P(PeriodValidity, DetectedPeriodIsMinimal) {
   const Period period = detection->period;
   if (period.p == 1) return;
   // No smaller period validates on the detection window's states.
-  const auto& states = detection->states;
+  std::vector<State> states =
+      ExtractStates(detection->model, 0, detection->horizon);
   const int64_t start = period.b + detection->c;
   for (int64_t p = 1; p < period.p; ++p) {
     bool valid = true;
