@@ -8,10 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <random>
+#include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "eval/fixpoint.h"
 #include "spec/specification.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/generators.h"
 
 namespace chronolog {
@@ -77,6 +85,86 @@ void BM_SpecSkiFullYear(benchmark::State& state) {
 BENCHMARK(BM_SpecSkiFullYear)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Metered pass behind $CHRONOLOG_METRICS_OUT: re-runs representative
+// spec-build workloads with a chronolog_obs registry attached and writes the
+// combined dump (plus the host's hardware_concurrency, which the bench JSON
+// header records) to that path. Covers every instrumented path:
+//
+//  * progressive workloads (path, ski, token rings) -> forward.*;
+//  * the `seen`-augmented rings are non-progressive -> period.* doubling
+//    plus the sequential fixpoint.* instruments;
+//  * a wide-delta product workload at num_threads = 4 -> fixpoint.parallel.*
+//    (shard timings and the imbalance gauge need real pool tasks).
+//
+// bench/ci.sh fails the build if any histogram in this dump is empty —
+// instruments are created at phase entry, so an empty one is dead
+// instrumentation, not an idle phase.
+void DumpSpecBuildMetrics(const char* path) {
+  MetricsRegistry metrics;
+  TraceBuffer trace;
+
+  auto build_spec = [&](const std::string& src, int threads) {
+    ParsedUnit unit = bench::MustParse(src);
+    PeriodDetectionOptions options;
+    options.metrics = &metrics;
+    options.trace = &trace;
+    options.num_threads = threads;
+    auto spec = BuildSpecification(unit.program, unit.database, options);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "metered spec build failed: %s\n",
+                   spec.status().ToString().c_str());
+    }
+  };
+
+  std::mt19937 rng(777);
+  build_spec(workload::PathProgramSource() +
+                 workload::RandomGraphFactsSource(32, 64, &rng),
+             /*threads=*/1);
+  build_spec(workload::SkiScheduleSource(3, /*year_len=*/28, /*winter_len=*/8,
+                                         /*holidays=*/2),
+             /*threads=*/1);
+  build_spec(workload::TokenRingSource({2, 3, 5}), /*threads=*/1);
+  build_spec(workload::TokenRingSource({2, 3, 5}) + "seen(X) :- tok(T, X).\n",
+             /*threads=*/1);
+
+  // Parallel rounds need a delta of >= 32 facts to leave the sequential
+  // fast path; a 48 x 48 product gives every pool worker real shards.
+  {
+    std::string src;
+    for (int i = 0; i < 48; ++i) src += "n(c" + std::to_string(i) + ").\n";
+    src += "p(X, Y) :- n(X), n(Y).\n";
+    ParsedUnit unit = bench::MustParse(src);
+    FixpointOptions fp;
+    fp.max_time = 4;
+    fp.num_threads = 4;
+    fp.metrics = &metrics;
+    fp.trace = &trace;
+    auto model = SemiNaiveFixpoint(unit.program, unit.database, fp);
+    if (!model.ok()) {
+      std::fprintf(stderr, "metered parallel fixpoint failed: %s\n",
+                   model.status().ToString().c_str());
+    }
+  }
+
+  std::ofstream out(path);
+  out << "{\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+      << ",\"metrics\":" << metrics.ToJson()
+      << ",\"trace_events\":" << trace.size()
+      << ",\"trace_dropped\":" << trace.dropped() << "}\n";
+  std::fprintf(stderr, "wrote metrics dump to %s (%zu trace events)\n", path,
+               trace.size());
+}
+
 }  // namespace chronolog
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("CHRONOLOG_METRICS_OUT")) {
+    chronolog::DumpSpecBuildMetrics(path);
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: a regular Release build + full ctest run, followed by an
+# CI entry point: a regular Release build + full ctest run, the same suite
+# again with CHRONOLOG_NUM_THREADS=4 (parallel evaluator everywhere), a
+# metrics-liveness check of the chronolog_obs instrumentation, and finally an
 # AddressSanitizer/UBSan build (CHRONOLOG_SANITIZE, see CMakeLists.txt) of
-# the same tree and a second full ctest run under the sanitizers.
+# the same tree with a full ctest run under the sanitizers.
 #
 # Usage: bench/ci.sh [build_dir] [sanitizer_build_dir]
 set -euo pipefail
@@ -16,6 +18,39 @@ echo "== release build + tests ($BUILD_DIR) =="
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Second configuration: the full suite against the parallel semi-naive
+# evaluator. tests/chronolog_test_main.cc reads the variable into the
+# process-wide thread default, so every fixpoint in every test runs with 4
+# workers — results are thread-count independent by design, and this run
+# enforces it suite-wide.
+echo "== release tests, parallel evaluator (CHRONOLOG_NUM_THREADS=4) =="
+CHRONOLOG_NUM_THREADS=4 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# chronolog_obs liveness: run the metered spec-build pass and fail if any
+# histogram stayed empty. Instruments are created at phase *entry*, so an
+# empty histogram after a metered run means an instrumented phase never
+# recorded — dead instrumentation, not an idle phase.
+echo "== metrics liveness (metered spec-build pass) =="
+CHRONOLOG_METRICS_OUT="$BUILD_DIR/spec_metrics.json" \
+  "$BUILD_DIR/bench/bench_spec_build" \
+  --benchmark_filter='BM_SpecSki/1$' >/dev/null
+python3 - "$BUILD_DIR/spec_metrics.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    dump = json.load(fh)
+histograms = dump["metrics"]["histograms"]
+if not histograms:
+    sys.exit("metrics liveness: no histograms collected at all")
+empty = sorted(name for name, h in histograms.items() if h["count"] == 0)
+if empty:
+    sys.exit("metrics liveness: empty histograms: " + ", ".join(empty))
+print(f"metrics liveness: {len(histograms)} histograms, all non-empty "
+      f"(hardware_concurrency={dump['hardware_concurrency']})")
+PY
 
 echo "== sanitizer build + tests ($SAN_BUILD_DIR) =="
 cmake -B "$SAN_BUILD_DIR" -S . \

@@ -12,7 +12,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR${BENCH_PR:-2}.json}"
+OUT="${2:-BENCH_PR${BENCH_PR:-3}.json}"
 REPS="${BENCH_REPETITIONS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -24,7 +24,15 @@ for bench in bench_spec_build bench_bt_scaling; do
     exit 1
   fi
   echo "== $bench (repetitions=$REPS) =="
-  "$bin" \
+  # bench_spec_build honours CHRONOLOG_METRICS_OUT: after the (unmetered)
+  # timing runs it re-runs representative workloads with a chronolog_obs
+  # registry attached and dumps the per-phase histograms + parallel
+  # imbalance gauges, which get merged into the output below.
+  metrics_env=""
+  if [[ "$bench" == bench_spec_build ]]; then
+    metrics_env="CHRONOLOG_METRICS_OUT=$TMP/spec_metrics.json"
+  fi
+  env $metrics_env "$bin" \
     --benchmark_repetitions="$REPS" \
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json \
@@ -41,6 +49,21 @@ tmp_dir, out_path = sys.argv[1], sys.argv[2]
 # Host context matters for the threaded variants: on a single-CPU host they
 # report sequential time plus pool overhead, not a speedup.
 records = {"_host": {"cpus": os.cpu_count()}}
+
+# chronolog_obs dump from the metered spec-build pass: the header records
+# std::thread::hardware_concurrency() as the engine saw it, and "_metrics"
+# carries the per-phase histograms and the parallel-imbalance gauge.
+metrics_path = f"{tmp_dir}/spec_metrics.json"
+if os.path.exists(metrics_path):
+    with open(metrics_path) as fh:
+        dump = json.load(fh)
+    records["_host"]["hardware_concurrency"] = dump["hardware_concurrency"]
+    records["_metrics"] = {
+        "histograms": dump["metrics"]["histograms"],
+        "gauges": dump["metrics"]["gauges"],
+        "counters": dump["metrics"]["counters"],
+        "trace_events": dump["trace_events"],
+    }
 for suite in ("bench_spec_build", "bench_bt_scaling"):
     with open(f"{tmp_dir}/{suite}.json") as fh:
         report = json.load(fh)

@@ -58,6 +58,8 @@ Result<bool> TemporalDatabase::AskBt(std::string_view ground_atom,
                              ParseGroundAtom(ground_atom, vocab()));
   BtOptions options;
   options.num_threads = options_.num_threads;
+  options.metrics = metrics_.get();
+  options.trace = trace_.get();
   if (range.has_value()) {
     options.range = *range;
   } else {
@@ -100,12 +102,22 @@ Result<std::string> TemporalDatabase::Explain(std::string_view ground_atom) {
   // representatives act as both h and range here).
   FixpointOptions options;
   options.max_time = 2 * spec->num_representatives();
+  options.metrics = metrics_.get();
+  options.trace = trace_.get();
   CHRONOLOG_ASSIGN_OR_RETURN(
       ProofForest forest,
       MaterializeWithProvenance(unit_.program, unit_.database, options));
   CHRONOLOG_ASSIGN_OR_RETURN(std::string proof,
                              forest.Explain(atom, unit_.program));
   return prefix + proof;
+}
+
+std::string TemporalDatabase::MetricsJson() const {
+  if (metrics_ == nullptr) return "{}";
+  std::string out = "{\"metrics\":" + metrics_->ToJson();
+  if (trace_ != nullptr) out += ",\"trace\":" + trace_->ToJson();
+  out += "}";
+  return out;
 }
 
 std::string TemporalDatabase::Describe() {

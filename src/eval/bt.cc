@@ -32,6 +32,8 @@ Result<BtResult> RunBt(const Program& program, const Database& db,
   fp.max_time = m;
   fp.max_facts = options.max_facts;
   fp.num_threads = options.num_threads;
+  fp.metrics = options.metrics;
+  fp.trace = options.trace;
 
   BtResult result{false, m, Interpretation(program.vocab_ptr()), {}};
   if (options.semi_naive) {

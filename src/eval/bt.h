@@ -32,7 +32,12 @@ struct BtOptions {
 
   /// Worker threads for the semi-naive fixpoint (ignored by the naive
   /// path); 1 = sequential. The result is thread-count independent.
-  int num_threads = 1;
+  int num_threads = DefaultFixpointThreads();
+
+  /// Observability sinks (chronolog_obs), forwarded to the underlying
+  /// fixpoint; null disables collection.
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
 };
 
 /// Outcome of a BT run for a ground atomic query.

@@ -6,9 +6,25 @@
 #include <memory>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace chronolog {
+
+namespace {
+
+std::atomic<int> g_default_fixpoint_threads{1};
+
+}  // namespace
+
+int DefaultFixpointThreads() {
+  return g_default_fixpoint_threads.load(std::memory_order_relaxed);
+}
+
+void SetDefaultFixpointThreads(int n) {
+  g_default_fixpoint_threads.store(std::max(1, n), std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -72,6 +88,27 @@ Status RunSemiNaiveRounds(const Program& program,
   const Vocabulary& vocab = program.vocab();
   Interpretation delta = std::move(delta_in);
 
+  // chronolog_obs instruments, fetched up front (before the first round) so
+  // that an instrument still empty after a metered run flags dead
+  // instrumentation (bench/ci.sh checks exactly this). All stay null when no
+  // registry is attached.
+  MetricsRegistry* const metrics = options.metrics;
+  Counter* rounds_counter = nullptr;
+  Histogram* delta_hist = nullptr;
+  Histogram* derive_hist = nullptr;
+  Histogram* merge_hist = nullptr;
+  Counter* tasks_counter = nullptr;
+  Histogram* round_tasks_hist = nullptr;
+  Histogram* shard_hist = nullptr;
+  Gauge* imbalance_gauge = nullptr;
+  Counter* buffered_counter = nullptr;
+  if (metrics != nullptr) {
+    rounds_counter = metrics->counter("fixpoint.rounds");
+    delta_hist = metrics->histogram("fixpoint.round.delta_facts");
+    derive_hist = metrics->histogram("fixpoint.round.derive_ns");
+    merge_hist = metrics->histogram("fixpoint.round.merge_ns");
+  }
+
   std::vector<RuleEvaluator> evaluators;
   evaluators.reserve(program.rules().size());
   for (const Rule& rule : program.rules()) {
@@ -99,10 +136,20 @@ Status RunSemiNaiveRounds(const Program& program,
   const int num_threads = std::max(1, options.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  if (metrics != nullptr && pool != nullptr) {
+    tasks_counter = metrics->counter("fixpoint.parallel.tasks");
+    round_tasks_hist = metrics->histogram("fixpoint.parallel.round_tasks");
+    shard_hist = metrics->histogram("fixpoint.parallel.shard_derive_ns");
+    imbalance_gauge = metrics->gauge("fixpoint.parallel.imbalance");
+    buffered_counter = metrics->counter("fixpoint.parallel.buffered_facts");
+  }
 
   bool first_round = true;
   while (!delta.empty()) {
     ++stats->iterations;
+    if (rounds_counter != nullptr) rounds_counter->Add();
+    if (delta_hist != nullptr) delta_hist->RecordValue(delta.size());
+    TraceSpan round_span(options.trace, "fixpoint.round");
     const std::vector<TaskPair>& pairs =
         first_round ? all_pairs : steady_pairs;
     first_round = false;
@@ -117,13 +164,15 @@ Status RunSemiNaiveRounds(const Program& program,
     bool overflow = false;
     // Per-phase timers are sampled only on rounds with a non-trivial delta:
     // clock reads would otherwise dominate workloads with 10^5 one-fact
-    // rounds (the depth-scaling benchmark).
-    const bool timed = delta.size() >= kParallelDeltaThreshold;
-    const Clock::time_point derive_start =
-        timed ? Clock::now() : Clock::time_point();
+    // rounds (the depth-scaling benchmark). With a registry attached every
+    // round is timed — metered runs want the small rounds in the histogram.
+    const bool timed =
+        metrics != nullptr || delta.size() >= kParallelDeltaThreshold;
 
     if (pool == nullptr || delta.size() < kParallelDeltaThreshold ||
         pairs.empty()) {
+      TraceSpan derive_span(options.trace, "fixpoint.derive");
+      PhaseTimer derive_timer(timed, &stats->derive_ms, derive_hist);
       for (const TaskPair& task : pairs) {
         evaluators[task.rule].Evaluate(
             full, &delta, task.pos, /*time_binding=*/std::nullopt, stats,
@@ -137,7 +186,6 @@ Status RunSemiNaiveRounds(const Program& program,
             });
         if (overflow) return TooLarge(options.max_facts);
       }
-      if (timed) stats->derive_ms += MsSince(derive_start);
     } else {
       // Shard every (rule, position) pair across the pool; shards of one
       // pair split the delta atom's candidate tuples round-robin.
@@ -151,58 +199,103 @@ Status RunSemiNaiveRounds(const Program& program,
       for (const TaskPair& pair : pairs) {
         for (uint32_t s = 0; s < shards; ++s) tasks.push_back({pair, s});
       }
+      if (tasks_counter != nullptr) tasks_counter->Add(tasks.size());
+      if (round_tasks_hist != nullptr) {
+        round_tasks_hist->RecordValue(tasks.size());
+      }
 
       Interpretation buffer_proto(program.vocab_ptr());
       buffer_proto.DisableSnapshotHashing();  // copies inherit the flag
       std::vector<Interpretation> buffers(tasks.size(), buffer_proto);
       std::vector<EvalStats> task_stats(tasks.size());
+      std::vector<double> task_ms(tasks.size(), 0.0);
       std::atomic<bool> overflow_flag{false};
+      // Shared running total of facts buffered this round. The per-worker
+      // `full.size() + buffer.size()` check it replaces only tripped once a
+      // single buffer crossed the cap, so N threads could each grow to just
+      // under max_facts before the post-merge check fired (~N× max_facts
+      // transient memory). Against the shared total the round stops within
+      // ~num_threads emissions of the cap.
+      std::atomic<uint64_t> buffered_total{0};
       full.SetConcurrentProbes(true);
       delta.SetConcurrentProbes(true);
-      pool->ParallelFor(tasks.size(), [&](std::size_t i) {
-        const Task& task = tasks[i];
-        Interpretation& buffer = buffers[i];
-        evaluators[task.pair.rule].Evaluate(
-            full, &delta, task.pair.pos, /*time_binding=*/std::nullopt,
-            &task_stats[i],
-            [&](GroundAtom&& fact) {
-              if (!WithinBound(vocab, fact, options.max_time)) return;
-              if (full.Contains(fact)) return;
-              buffer.Insert(fact.pred, fact.time, std::move(fact.args));
-              if (full.size() + buffer.size() > options.max_facts) {
-                overflow_flag.store(true, std::memory_order_relaxed);
-              }
-            },
-            task.shard, shards);
-      });
+      {
+        TraceSpan derive_span(options.trace, "fixpoint.derive");
+        PhaseTimer derive_timer(timed, &stats->derive_ms, derive_hist);
+        pool->ParallelFor(tasks.size(), [&](std::size_t i) {
+          const Clock::time_point task_start = Clock::now();
+          const Task& task = tasks[i];
+          Interpretation& buffer = buffers[i];
+          evaluators[task.pair.rule].Evaluate(
+              full, &delta, task.pair.pos, /*time_binding=*/std::nullopt,
+              &task_stats[i],
+              [&](GroundAtom&& fact) {
+                if (!WithinBound(vocab, fact, options.max_time)) return;
+                if (full.Contains(fact)) return;
+                if (overflow_flag.load(std::memory_order_relaxed)) return;
+                if (!buffer.Insert(fact.pred, fact.time,
+                                   std::move(fact.args))) {
+                  return;
+                }
+                const uint64_t buffered =
+                    buffered_total.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                if (full.size() + buffered > options.max_facts) {
+                  overflow_flag.store(true, std::memory_order_relaxed);
+                }
+              },
+              task.shard, shards);
+          task_ms[i] = MsSince(task_start);
+        });
+      }
       full.SetConcurrentProbes(false);
       delta.SetConcurrentProbes(false);
       for (const EvalStats& ts : task_stats) stats->Add(ts);
+      if (buffered_counter != nullptr) {
+        buffered_counter->Add(buffered_total.load(std::memory_order_relaxed));
+      }
+      if (shard_hist != nullptr) {
+        double max_ms = 0;
+        double sum_ms = 0;
+        for (const double ms : task_ms) {
+          shard_hist->RecordMs(ms);
+          max_ms = std::max(max_ms, ms);
+          sum_ms += ms;
+        }
+        const double mean_ms = sum_ms / static_cast<double>(task_ms.size());
+        if (imbalance_gauge != nullptr && mean_ms > 0) {
+          imbalance_gauge->Set(max_ms / mean_ms);
+        }
+      }
       if (overflow_flag.load()) return TooLarge(options.max_facts);
-      stats->derive_ms += MsSince(derive_start);
 
       // Deterministic merge: task order reproduces the sequential
       // insertion order (tasks are already ordered by (rule, pos, shard)).
-      const Clock::time_point merge_start = Clock::now();
-      for (const Interpretation& buffer : buffers) {
-        buffer.ForEach(
-            [&](PredicateId pred, int64_t time, const Tuple& args) {
-              next_delta.Insert(pred, time, args);
-              if (full.size() + next_delta.size() > options.max_facts) {
-                overflow = true;
-              }
-            });
+      {
+        TraceSpan merge_span(options.trace, "fixpoint.merge");
+        PhaseTimer merge_timer(/*enabled=*/true, &stats->merge_ms,
+                               merge_hist);
+        for (const Interpretation& buffer : buffers) {
+          buffer.ForEach(
+              [&](PredicateId pred, int64_t time, const Tuple& args) {
+                next_delta.Insert(pred, time, args);
+                if (full.size() + next_delta.size() > options.max_facts) {
+                  overflow = true;
+                }
+              });
+        }
       }
-      stats->merge_ms += MsSince(merge_start);
       if (overflow) return TooLarge(options.max_facts);
     }
 
-    const Clock::time_point merge_start =
-        timed ? Clock::now() : Clock::time_point();
-    next_delta.ForEach([&](PredicateId pred, int64_t time, const Tuple& args) {
-      InsertIntoFull(vocab, full, pred, time, args, stats);
-    });
-    if (timed) stats->merge_ms += MsSince(merge_start);
+    {
+      TraceSpan merge_span(options.trace, "fixpoint.merge");
+      PhaseTimer merge_timer(timed, &stats->merge_ms, merge_hist);
+      next_delta.ForEach(
+          [&](PredicateId pred, int64_t time, const Tuple& args) {
+            InsertIntoFull(vocab, full, pred, time, args, stats);
+          });
+    }
     delta = std::move(next_delta);
   }
   return Status();
@@ -217,8 +310,21 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
   Interpretation out(program.vocab_ptr());
   const Vocabulary& vocab = program.vocab();
   bool overflow = false;
+  // Only facts absent from the *input* count toward inserted/min_new_time:
+  // one Tp application reports exactly what it adds over `interp`, so
+  // NaiveFixpoint's per-pass contributions sum to the semi-naive totals
+  // (the contract the incremental period tracker depends on).
+  auto count_if_new = [&](PredicateId pred, int64_t time) {
+    if (stats == nullptr) return;
+    ++stats->inserted;
+    if (vocab.predicate(pred).is_temporal) {
+      stats->min_new_time = std::min(stats->min_new_time, time);
+    }
+  };
   for (const GroundAtom& f : db.facts()) {
-    if (WithinBound(vocab, f, options.max_time)) out.Insert(f);
+    if (!WithinBound(vocab, f, options.max_time)) continue;
+    const bool is_new = !interp.Contains(f);
+    if (out.Insert(f) && is_new) count_if_new(f.pred, f.time);
   }
   for (const Rule& rule : program.rules()) {
     RuleEvaluator evaluator(rule, vocab, options.use_index);
@@ -229,9 +335,11 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
                            return;
                          }
                          if (out.Contains(fact)) return;
-                         out.Insert(fact.pred, fact.time,
-                                    std::move(fact.args));
-                         if (stats != nullptr) ++stats->inserted;
+                         const bool is_new = !interp.Contains(fact);
+                         const PredicateId pred = fact.pred;
+                         const int64_t time = fact.time;
+                         out.Insert(pred, time, std::move(fact.args));
+                         if (is_new) count_if_new(pred, time);
                          if (out.size() > options.max_facts) overflow = true;
                        });
     if (overflow) return TooLarge(options.max_facts);
@@ -243,9 +351,20 @@ Result<Interpretation> NaiveFixpoint(const Program& program,
                                      const Database& db,
                                      const FixpointOptions& options,
                                      EvalStats* stats) {
+  TraceSpan span(options.trace, "fixpoint.naive");
+  const Vocabulary& vocab = program.vocab();
   Interpretation current(program.vocab_ptr());
-  current.InsertDatabase(db);
-  current.TruncateInPlace(options.max_time);
+  // Database seeds are counted here: from the first pass on, ApplyTp sees
+  // them as already present in its input and reports only derived news.
+  for (const GroundAtom& f : db.facts()) {
+    if (!WithinBound(vocab, f, options.max_time)) continue;
+    if (current.Insert(f) && stats != nullptr) {
+      ++stats->inserted;
+      if (vocab.predicate(f.pred).is_temporal) {
+        stats->min_new_time = std::min(stats->min_new_time, f.time);
+      }
+    }
+  }
   while (true) {
     if (stats != nullptr) ++stats->iterations;
     CHRONOLOG_ASSIGN_OR_RETURN(Interpretation next,
@@ -262,6 +381,7 @@ Result<Interpretation> SemiNaiveFixpoint(const Program& program,
                                          const Database& db,
                                          const FixpointOptions& options,
                                          EvalStats* stats) {
+  TraceSpan span(options.trace, "fixpoint.semi_naive");
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   const Vocabulary& vocab = program.vocab();
@@ -270,7 +390,13 @@ Result<Interpretation> SemiNaiveFixpoint(const Program& program,
   delta.DisableSnapshotHashing();
   for (const GroundAtom& f : db.facts()) {
     if (!WithinBound(vocab, f, options.max_time)) continue;
-    if (full.Insert(f)) delta.Insert(f);
+    if (full.Insert(f)) {
+      ++stats->inserted;
+      if (vocab.predicate(f.pred).is_temporal) {
+        stats->min_new_time = std::min(stats->min_new_time, f.time);
+      }
+      delta.Insert(f);
+    }
   }
   Status status =
       RunSemiNaiveRounds(program, options, stats, full, std::move(delta));
@@ -284,6 +410,7 @@ Result<Interpretation> ExtendFixpoint(const Program& program,
                                       int64_t prior_max_time,
                                       const FixpointOptions& options,
                                       EvalStats* stats) {
+  TraceSpan span(options.trace, "fixpoint.extend");
   if (options.max_time < prior_max_time) {
     return InvalidArgumentError(
         "ExtendFixpoint: max_time (" + std::to_string(options.max_time) +

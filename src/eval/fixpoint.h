@@ -11,6 +11,20 @@
 
 namespace chronolog {
 
+class MetricsRegistry;
+class TraceBuffer;
+
+/// Process-wide default for `FixpointOptions::num_threads` (and the
+/// mirroring fields in PeriodDetectionOptions / BtOptions). 1 unless
+/// overridden; lets a test harness or benchmark driver opt every evaluator
+/// into a thread count without plumbing an option through each call site —
+/// tests/chronolog_test_main.cc sets it from $CHRONOLOG_NUM_THREADS so the
+/// whole suite can run against the parallel evaluator.
+int DefaultFixpointThreads();
+/// Values below 1 are clamped to 1. Thread-safe, but intended to be called
+/// once at process start, before evaluators are constructed.
+void SetDefaultFixpointThreads(int n);
+
 /// Limits for bottom-up evaluation. `max_time` is the truncation bound `m` of
 /// algorithm BT: derived temporal facts beyond it are discarded, which makes
 /// every fixpoint below finite. `max_facts` guards against workloads that
@@ -26,12 +40,21 @@ struct FixpointOptions {
   /// is sharded across a thread pool; per-task buffers are merged in task
   /// order after a barrier, so the result is identical to the sequential
   /// path for every thread count.
-  int num_threads = 1;
+  int num_threads = DefaultFixpointThreads();
+  /// Observability sinks (chronolog_obs, util/metrics.h + util/trace.h).
+  /// Null disables collection at the cost of one branch per site; the
+  /// engine wires these up when `EngineOptions::collect_metrics` is set.
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
 };
 
 /// One application of the immediate-consequence operator:
 /// `T_{Z∧D}(I) = {head θ : rule ∈ Z, body θ ⊆ I} ∪ D`, truncated to
 /// `[0...max_time]` plus the non-temporal part (Section 3.2).
+///
+/// `stats->inserted` / `stats->min_new_time` report only the facts the
+/// application adds over `interp` (database facts included), so repeated
+/// applications sum to the same totals the semi-naive evaluator reports.
 Result<Interpretation> ApplyTp(const Program& program, const Database& db,
                                const Interpretation& interp,
                                const FixpointOptions& options,
@@ -41,6 +64,8 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
 /// `L := T_{Z∧D}(L)(0...m) ∪ nt` from `D` until stable. This is precisely
 /// the loop of algorithm BT (Figure 1) for a caller-supplied bound `m`; see
 /// bt.h for the complete algorithm including the choice of `m`.
+/// Reports the same `inserted`/`min_new_time` totals as SemiNaiveFixpoint
+/// on the same program (each fact counted once, in its first pass).
 Result<Interpretation> NaiveFixpoint(const Program& program,
                                      const Database& db,
                                      const FixpointOptions& options,

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "ast/printer.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chronolog {
 
@@ -62,6 +64,19 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   ProgressivityReport report = CheckProgressive(program);
   if (!report.progressive) {
     return FailedPreconditionError("ForwardSimulate: " + report.reason);
+  }
+  TraceSpan span(options.trace, "forward.simulate");
+
+  // chronolog_obs instruments, fetched up front (see RunSemiNaiveRounds);
+  // null when no registry is attached.
+  MetricsRegistry* const metrics = options.metrics;
+  Counter* steps_counter = nullptr;
+  Histogram* step_hist = nullptr;
+  Histogram* detect_hist = nullptr;
+  if (metrics != nullptr) {
+    steps_counter = metrics->counter("forward.timesteps");
+    step_hist = metrics->histogram("forward.timestep_ns");
+    detect_hist = metrics->histogram("forward.detect_ns");
   }
 
   const Vocabulary& vocab = program.vocab();
@@ -175,6 +190,9 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   std::vector<GroundAtom> buffer;
   for (int64_t t = 0;; ++t) {
     if (t > options.max_steps) return too_large();
+    if (steps_counter != nullptr) steps_counter->Add();
+    TraceSpan step_span(options.trace, "forward.timestep");
+    PhaseTimer step_timer(metrics != nullptr, /*field=*/nullptr, step_hist);
     // Within-timestep fixpoint: all rules whose head lands on `t`.
     if (!same_time_feedback) {
       // Every body atom reads a strictly earlier timestep, so inserting the
@@ -222,9 +240,13 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
       }
     }
 
+    step_timer.Stop();
     state_hashes.push_back(model.SnapshotHash(t));
     result.horizon = t;
 
+    TraceSpan detect_span(options.trace, "forward.detection");
+    PhaseTimer detect_timer(metrics != nullptr, /*field=*/nullptr,
+                            detect_hist);
     // Period detection: windows of g consecutive states starting at
     // s >= c+1 evolve deterministically (no database injection past c).
     int64_t s = t - g + 1;  // start of the newest complete window

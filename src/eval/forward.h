@@ -13,6 +13,9 @@
 
 namespace chronolog {
 
+class MetricsRegistry;
+class TraceBuffer;
+
 /// A period `(b, p)` of a least model in the paper's convention
 /// (Section 3.2): `M[t] = M[t+p]` for all `t >= b + c`, where `c` is the
 /// maximum temporal depth in the database.
@@ -51,6 +54,9 @@ struct ForwardOptions {
   /// Theorem 3.1 — so a guard is mandatory).
   int64_t max_steps = 1'000'000;
   uint64_t max_facts = 50'000'000;
+  /// Observability sinks (chronolog_obs); null disables collection.
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
 };
 
 /// Result of a forward simulation run.

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "eval/fixpoint.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chronolog {
 
@@ -116,6 +118,23 @@ Result<PeriodDetection> DetectByDoubling(const Program& program,
                                          const Database& db,
                                          const PeriodDetectionOptions& options,
                                          int64_t c) {
+  TraceSpan span(options.trace, "period.doubling");
+  // chronolog_obs instruments, fetched up front (see RunSemiNaiveRounds);
+  // null when no registry is attached.
+  MetricsRegistry* const metrics = options.metrics;
+  Counter* doublings_counter = nullptr;
+  Histogram* extend_hist = nullptr;
+  Histogram* update_hist = nullptr;
+  Histogram* find_hist = nullptr;
+  Histogram* verify_hist = nullptr;
+  if (metrics != nullptr) {
+    doublings_counter = metrics->counter("period.doublings");
+    extend_hist = metrics->histogram("period.extend_ns");
+    update_hist = metrics->histogram("period.update_ns");
+    find_hist = metrics->histogram("period.find_ns");
+    verify_hist = metrics->histogram("period.verify_ns");
+  }
+
   PeriodDetection result{Period{}, c, 0, Interpretation(program.vocab_ptr()),
                          /*exact=*/false, {}};
   const int64_t g = std::max<int64_t>(1, program.MaxTemporalDepth());
@@ -134,42 +153,59 @@ Result<PeriodDetection> DetectByDoubling(const Program& program,
   int64_t prev_m = -1;
 
   while (m <= options.max_horizon) {
+    if (doublings_counter != nullptr) doublings_counter->Add();
     FixpointOptions fp;
     fp.max_time = m;
     fp.max_facts = options.max_facts;
     fp.num_threads = options.num_threads;
+    fp.metrics = options.metrics;
+    fp.trace = options.trace;
     EvalStats round_stats;
     int64_t changed_from = 0;
-    if (prev_m < 0) {
-      CHRONOLOG_ASSIGN_OR_RETURN(
-          model, SemiNaiveFixpoint(program, db, fp, &round_stats));
-    } else {
-      CHRONOLOG_ASSIGN_OR_RETURN(
-          model,
-          ExtendFixpoint(program, db, std::move(model), prev_m, fp,
-                         &round_stats));
-      // Hashes strictly below the earliest time the extension touched are
-      // unchanged (a non-progressive extension can rewrite history: newly
-      // admitted facts feed backward rules).
-      changed_from = std::min(prev_m + 1, round_stats.min_new_time);
+    {
+      TraceSpan extend_span(options.trace, "period.extend");
+      PhaseTimer extend_timer(metrics != nullptr, /*field=*/nullptr,
+                              extend_hist);
+      if (prev_m < 0) {
+        CHRONOLOG_ASSIGN_OR_RETURN(
+            model, SemiNaiveFixpoint(program, db, fp, &round_stats));
+      } else {
+        CHRONOLOG_ASSIGN_OR_RETURN(
+            model,
+            ExtendFixpoint(program, db, std::move(model), prev_m, fp,
+                           &round_stats));
+        // Hashes strictly below the earliest time the extension touched are
+        // unchanged (a non-progressive extension can rewrite history: newly
+        // admitted facts feed backward rules).
+        changed_from = std::min(prev_m + 1, round_stats.min_new_time);
+      }
     }
     {
       // What remains of the old extraction phase: an O(changed suffix)
       // refresh of cached hash words.
-      const auto start = std::chrono::steady_clock::now();
+      TraceSpan update_span(options.trace, "period.update");
+      PhaseTimer update_timer(/*enabled=*/true, &round_stats.extract_ms,
+                              update_hist);
       tracker.Update(model, m, changed_from);
-      round_stats.extract_ms +=
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start)
-              .count();
     }
     result.stats.Add(round_stats);
 
     int64_t k = 0;
     int64_t p = 0;
-    if (tracker.Find(/*min_cycles=*/3, &k, &p)) {
+    bool found;
+    {
+      TraceSpan find_span(options.trace, "period.find");
+      PhaseTimer find_timer(metrics != nullptr, /*field=*/nullptr, find_hist);
+      found = tracker.Find(/*min_cycles=*/3, &k, &p);
+    }
+    if (found) {
       if (have_candidate && k == prev_k && p == prev_p) {
-        if (tracker.VerifyCandidate(model, k, p)) {
+        TraceSpan verify_span(options.trace, "period.verify");
+        PhaseTimer verify_timer(metrics != nullptr, /*field=*/nullptr,
+                                verify_hist);
+        const bool verified = tracker.VerifyCandidate(model, k, p);
+        verify_timer.Stop();
+        if (verified) {
           // Stable across a doubling and collision-checked: accept.
           result.period.b = std::max<int64_t>(0, k - c);
           result.period.p = p;
@@ -209,6 +245,8 @@ Result<PeriodDetection> DetectPeriod(const Program& program,
     ForwardOptions fwd;
     fwd.max_steps = options.max_horizon;
     fwd.max_facts = options.max_facts;
+    fwd.metrics = options.metrics;
+    fwd.trace = options.trace;
     CHRONOLOG_ASSIGN_OR_RETURN(ForwardResult forward,
                                ForwardSimulate(program, db, fwd));
     PeriodDetection result{forward.period,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ast/program.h"
+#include "eval/fixpoint.h"
 #include "eval/forward.h"
 #include "storage/interpretation.h"
 #include "storage/state.h"
@@ -25,7 +26,11 @@ struct PeriodDetectionOptions {
   uint64_t max_facts = 50'000'000;
   /// Worker threads for the underlying semi-naive fixpoints
   /// (FixpointOptions::num_threads); 1 = sequential.
-  int num_threads = 1;
+  int num_threads = DefaultFixpointThreads();
+  /// Observability sinks (chronolog_obs), forwarded to the underlying
+  /// fixpoints / forward simulation; null disables collection.
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
 };
 
 /// Outcome of period detection: the minimal period of `M_{Z∧D}` and the

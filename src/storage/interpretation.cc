@@ -101,8 +101,12 @@ bool Interpretation::Insert(PredicateId pred, int64_t time, Tuple args) {
   if (inserted) {
     ++size_;
     if (temporal && snapshot_hashing_) {
-      // `+ 1` carries the fact-count term of State::Hash.
-      snapshot_hashes_[time] += FactHash(pred, *stored) + 1;
+      // `+ 1` carries the fact-count term of State::Hash / Hash2; both
+      // families finalize the same inner hash, computed once.
+      const std::size_t base = FactHashBase(pred, *stored);
+      SnapshotHashPair& pair = snapshot_hashes_[time];
+      pair.h1 += Mix64(base) + 1;
+      pair.h2 += Mix64b(base) + 1;
     }
     IndexInsertedTuple(pred, temporal, time, *stored);
   }
@@ -112,11 +116,26 @@ bool Interpretation::Insert(PredicateId pred, int64_t time, Tuple args) {
 std::size_t Interpretation::SnapshotHash(int64_t time) const {
   assert(snapshot_hashing_);
   auto it = snapshot_hashes_.find(time);
-  return it == snapshot_hashes_.end() ? 0 : it->second;
+  return it == snapshot_hashes_.end() ? 0 : it->second.h1;
+}
+
+std::size_t Interpretation::SnapshotHash2(int64_t time) const {
+  assert(snapshot_hashing_);
+  auto it = snapshot_hashes_.find(time);
+  return it == snapshot_hashes_.end() ? 0 : it->second.h2;
 }
 
 bool Interpretation::SnapshotEquals(int64_t t1, int64_t t2) const {
   if (t1 == t2) return true;
+  if (snapshot_hashing_) {
+    auto i1 = snapshot_hashes_.find(t1);
+    auto i2 = snapshot_hashes_.find(t2);
+    const SnapshotHashPair a =
+        i1 == snapshot_hashes_.end() ? SnapshotHashPair{} : i1->second;
+    const SnapshotHashPair b =
+        i2 == snapshot_hashes_.end() ? SnapshotHashPair{} : i2->second;
+    if (a.h1 != b.h1 || a.h2 != b.h2) return false;
+  }
   for (const auto& timeline : temporal_) {
     auto i1 = timeline.find(t1);
     auto i2 = timeline.find(t2);

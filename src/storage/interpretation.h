@@ -75,9 +75,18 @@ class Interpretation {
   /// prove equal states — verify collisions with SnapshotEquals.
   std::size_t SnapshotHash(int64_t time) const;
 
+  /// Second, independently finalized content hash of `M[time]` (see
+  /// FactHash2), maintained in the same map entry as SnapshotHash so one
+  /// insert updates both with a single lookup: equals
+  /// `State::FromInterpretation(*this, time).Hash2()`.
+  std::size_t SnapshotHash2(int64_t time) const;
+
   /// Exact comparison of the states `M[t1]` and `M[t2]`, in place (no State
   /// materialisation) — the hash-collision verification step of the period
-  /// detectors.
+  /// detectors. When snapshot hashing is enabled the walk is prefiltered by
+  /// the (SnapshotHash, SnapshotHash2) pairs: any disagreement proves the
+  /// states differ, so the exact per-timeline comparison only runs when
+  /// both hash families agree.
   bool SnapshotEquals(int64_t t1, int64_t t2) const;
 
   /// Turns off snapshot-hash maintenance for this instance. For scratch
@@ -147,10 +156,15 @@ class Interpretation {
   std::size_t size_ = 0;
 
   // Per-timestep state hashes: snapshot_hashes_[t] ==
-  // State::FromInterpretation(*this, t).Hash(). The combine is a commutative
-  // sum of finalized per-fact hashes plus the fact count, so one insert is an
-  // O(1) `+=` and absent entries mean the empty-state hash (0).
-  std::unordered_map<int64_t, std::size_t> snapshot_hashes_;
+  // {State::FromInterpretation(*this, t).Hash(), ...Hash2()}. Each combine is
+  // a commutative sum of finalized per-fact hashes plus the fact count, so
+  // one insert is two O(1) `+=`s over one shared inner hash, and absent
+  // entries mean the empty-state hash pair (0, 0).
+  struct SnapshotHashPair {
+    std::size_t h1 = 0;
+    std::size_t h2 = 0;
+  };
+  std::unordered_map<int64_t, SnapshotHashPair> snapshot_hashes_;
   bool snapshot_hashing_ = true;
 
   // Lazily built column indexes (see ProbeNonTemporal / ProbeSnapshot).

@@ -17,14 +17,30 @@ using Tuple = std::vector<SymbolId>;
 /// temporal predicates).
 using TupleSet = std::unordered_set<Tuple, VectorHash>;
 
+/// Pre-finalization hash of one time-projected fact `(pred, args)` — the
+/// shared inner value both fact-hash families finalize. Factored out so
+/// computing the pair (FactHash, FactHash2) walks the tuple once.
+inline std::size_t FactHashBase(std::size_t pred, const Tuple& args) {
+  std::size_t seed = args.size();
+  HashCombine(seed, pred);
+  return HashRange(args.data(), args.size(), seed);
+}
+
 /// Finalized hash of one time-projected fact `(pred, args)` — the unit of the
 /// order-independent snapshot hash. `State::Hash()` and the incrementally
 /// maintained `Interpretation::SnapshotHash()` both sum these per-fact values
 /// (plus the fact count), so the two must use the exact same definition.
 inline std::size_t FactHash(std::size_t pred, const Tuple& args) {
-  std::size_t seed = args.size();
-  HashCombine(seed, pred);
-  return Mix64(HashRange(args.data(), args.size(), seed));
+  return Mix64(FactHashBase(pred, args));
+}
+
+/// Companion hash of the same fact under the second finalizer (Mix64b).
+/// `State::Hash2()` / `Interpretation::SnapshotHash2()` sum these; snapshot
+/// comparison falls back to an exact check only when *both* families agree,
+/// which makes undetected collisions require two simultaneous 64-bit
+/// coincidences.
+inline std::size_t FactHash2(std::size_t pred, const Tuple& args) {
+  return Mix64b(FactHashBase(pred, args));
 }
 
 }  // namespace chronolog

@@ -1,0 +1,180 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace chronolog {
+
+namespace {
+
+/// Formats a double as JSON-safe text: fixed notation with enough precision
+/// for milliseconds-as-double, no inf/nan (clamped to 0 — instruments only
+/// see finite values, this is belt and braces for the exporter).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AtomicMin(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::Set(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_ = value;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+double Gauge::last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+double Gauge::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Gauge::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Gauge::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Gauge::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void Histogram::RecordMs(double ms) {
+  const double ns = ms * 1e6;
+  RecordValue(ns <= 0 ? 0 : static_cast<uint64_t>(ns));
+}
+
+void Histogram::RecordValue(uint64_t value) {
+  // Bucket = bit width of the value: 0 -> bucket 0, [2^(i-1), 2^i) -> i.
+  const int bucket = value == 0 ? 0 : std::bit_width(value);
+  buckets_[std::min(bucket, kNumBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+uint64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+bool MetricsRegistry::has_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.find(name) != histograms_.end();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"last\":" + JsonNumber(gauge->last()) +
+           ",\"min\":" + JsonNumber(gauge->min()) +
+           ",\"max\":" + JsonNumber(gauge->max()) +
+           ",\"mean\":" + JsonNumber(gauge->mean()) +
+           ",\"count\":" + std::to_string(gauge->count()) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(hist->count()) +
+           ",\"sum\":" + std::to_string(hist->sum()) +
+           ",\"min\":" + std::to_string(hist->min()) +
+           ",\"max\":" + std::to_string(hist->max()) +
+           ",\"mean\":" + JsonNumber(hist->mean()) + ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t n = hist->bucket(i);
+      if (n == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      // Exclusive upper bound of bucket i is 2^i (bucket 0 holds zeros).
+      const double le = i == 0 ? 0 : std::ldexp(1.0, i);
+      out += "{\"le\":" + JsonNumber(le) + ",\"n\":" + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,95 @@
+#include "util/trace.h"
+
+#include <functional>
+#include <thread>
+
+namespace chronolog {
+
+namespace {
+
+// Per-thread nesting depth. A thread-local (rather than per-buffer) counter
+// is correct because a thread executes at most one buffer's spans at a time,
+// and it keeps TraceSpan construction free of any shared state.
+thread_local int tls_depth = 0;
+
+uint64_t ThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+uint64_t ToMicros(std::chrono::steady_clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(capacity) {}
+
+void TraceBuffer::Record(const char* name, int depth,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  const uint64_t start_us = start <= epoch_ ? 0 : ToMicros(start - epoch_);
+  const uint64_t dur_us = end <= start ? 0 : ToMicros(end - start);
+  const uint64_t tid = ThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{name, depth, start_us, dur_us, tid});
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceBuffer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"events\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"depth\":" + std::to_string(e.depth) +
+           ",\"start_us\":" + std::to_string(e.start_us) +
+           ",\"dur_us\":" + std::to_string(e.dur_us) +
+           ",\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += "],\"dropped\":" + std::to_string(dropped_) + "}";
+  return out;
+}
+
+TraceSpan::TraceSpan(TraceBuffer* buffer, const char* name)
+    : buffer_(buffer), name_(name) {
+  if (buffer_ == nullptr) return;
+  depth_ = tls_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) return;
+  --tls_depth;
+  buffer_->Record(name_, depth_, start_, std::chrono::steady_clock::now());
+}
+
+}  // namespace chronolog

@@ -1,0 +1,89 @@
+#ifndef CHRONOLOG_UTIL_TRACE_H_
+#define CHRONOLOG_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chronolog {
+
+/// chronolog_obs — the tracing half of the observability layer. A
+/// `TraceBuffer` is a bounded per-run event log; `TraceSpan` is the RAII
+/// scope that feeds it. Spans nest through a thread-local depth counter
+/// (fixpoint → round → derive/merge; forward-simulate → timestep/detection;
+/// period detector → doubling → extend/find/verify), so the exported JSON
+/// reconstructs the call tree without any interning or global state.
+///
+/// All evaluators take a nullable `TraceBuffer*` next to their
+/// `MetricsRegistry*`; a null buffer makes TraceSpan construction a single
+/// pointer test. Span names must be string literals (the buffer stores the
+/// pointer, not a copy).
+
+/// One completed span. Times are microseconds relative to the buffer's
+/// construction (its epoch), so traces from one run share a timeline.
+struct TraceEvent {
+  const char* name;
+  int depth;          // nesting depth on the recording thread (0 = root)
+  uint64_t start_us;  // offset from the buffer epoch
+  uint64_t dur_us;
+  uint64_t tid;  // hashed thread id — distinguishes pool workers
+};
+
+/// Bounded, mutex-guarded event log. Spans beyond `capacity` are counted in
+/// `dropped()` instead of stored, which keeps long runs (10^5 fixpoint
+/// rounds, 10^6 simulated timesteps) at a fixed memory ceiling while still
+/// reporting that truncation happened.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void Record(const char* name, int depth,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  std::size_t size() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Snapshot of the recorded events, in completion order.
+  std::vector<TraceEvent> events() const;
+
+  /// {"events":[{"name":..,"depth":..,"start_us":..,"dur_us":..,"tid":..},
+  ///            ...],"dropped":n}
+  /// Events appear in completion order (inner spans before the scope that
+  /// encloses them — the usual trace-log convention).
+  std::string ToJson() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into `buffer` under
+/// `name`. A null buffer disables the span entirely (no clock reads).
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuffer* buffer, const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  const char* name_;
+  int depth_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_TRACE_H_

@@ -1,0 +1,22 @@
+// Shared gtest main for every chronolog test binary. Its one job beyond
+// RUN_ALL_TESTS is reading $CHRONOLOG_NUM_THREADS into the process-wide
+// fixpoint thread default, so CI can run the *entire* suite against the
+// parallel semi-naive evaluator (results are thread-count independent by
+// design — see DESIGN.md, "Parallel semi-naive rounds") without any test
+// opting in individually. bench/ci.sh runs the suite twice: once plain,
+// once with CHRONOLOG_NUM_THREADS=4.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/fixpoint.h"
+
+int main(int argc, char** argv) {
+  if (const char* env = std::getenv("CHRONOLOG_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) chronolog::SetDefaultFixpointThreads(n);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,235 @@
+// chronolog_obs: the metrics registry (counters, gauges, log2-bucketed
+// histograms), the RAII trace spans with thread-local nesting, the JSON
+// exporters, and the engine-level wiring behind
+// EngineOptions::collect_metrics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace chronolog {
+namespace {
+
+TEST(MetricsTest, CounterAccumulatesAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < 1000; ++j) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  c.Add(5);
+  EXPECT_EQ(c.value(), 4005u);
+}
+
+TEST(MetricsTest, GaugeTracksLastMinMaxMean) {
+  Gauge g;
+  EXPECT_EQ(g.count(), 0u);
+  EXPECT_EQ(g.mean(), 0.0);
+  g.Set(4.0);
+  g.Set(1.0);
+  g.Set(7.0);
+  EXPECT_EQ(g.last(), 7.0);
+  EXPECT_EQ(g.min(), 1.0);
+  EXPECT_EQ(g.max(), 7.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 4.0);
+  EXPECT_EQ(g.count(), 3u);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  Histogram h;
+  h.RecordValue(0);  // bucket 0
+  h.RecordValue(1);  // bit_width 1
+  h.RecordValue(2);  // bit_width 2
+  h.RecordValue(3);  // bit_width 2
+  h.RecordValue(4);  // bit_width 3
+  h.RecordValue(7);  // bit_width 3
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 17u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_NEAR(h.mean(), 17.0 / 6.0, 1e-9);
+}
+
+TEST(MetricsTest, HistogramRecordMsConvertsToNanoseconds) {
+  Histogram h;
+  h.RecordMs(1.0);  // 1e6 ns -> bit_width 20
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket(20), 1u);
+  EXPECT_EQ(h.sum(), 1'000'000u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointersAndGetOrCreates) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.counter("a.events");
+  Counter* c2 = reg.counter("a.events");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.counter("b.events"), c1);
+  EXPECT_FALSE(reg.has_histogram("a.lat_ns"));
+  Histogram* h = reg.histogram("a.lat_ns");
+  EXPECT_TRUE(reg.has_histogram("a.lat_ns"));
+  EXPECT_EQ(reg.histogram("a.lat_ns"), h);
+}
+
+TEST(MetricsTest, EmptyRegistryJson) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsTest, JsonContainsAllInstrumentKinds) {
+  MetricsRegistry reg;
+  reg.counter("x.n")->Add(3);
+  reg.gauge("x.g")->Set(2.5);
+  reg.histogram("x.h")->RecordValue(5);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"x.n\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"x.g\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"last\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"x.h\""), std::string::npos) << json;
+  // Value 5 has bit width 3: one sample in the bucket with le = 2^3.
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":8,\"n\":1}]"), std::string::npos)
+      << json;
+}
+
+TEST(MetricsTest, PhaseTimerWritesFieldAndHistogram) {
+  Histogram h;
+  double field = 0;
+  {
+    PhaseTimer t(/*enabled=*/true, &field, &h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(field, 0.0);
+
+  // Disabled timers never touch their sinks (and never read the clock).
+  double untouched = 0;
+  {
+    PhaseTimer t(/*enabled=*/false, &untouched, &h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(untouched, 0.0);
+
+  // Stop is idempotent: the destructor must not double-record.
+  {
+    PhaseTimer t(/*enabled=*/true, nullptr, &h);
+    t.Stop();
+    t.Stop();
+  }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(TraceTest, SpansNestViaThreadLocalDepth) {
+  TraceBuffer buf;
+  {
+    TraceSpan outer(&buf, "outer");
+    {
+      TraceSpan inner(&buf, "inner");
+    }
+    {
+      TraceSpan inner2(&buf, "inner2");
+    }
+  }
+  const std::vector<TraceEvent> events = buf.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: inner spans land before the scope enclosing them.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_STREQ(events[1].name, "inner2");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+  EXPECT_LE(events[2].start_us, events[0].start_us);
+}
+
+TEST(TraceTest, NullBufferIsANoop) {
+  TraceSpan span(nullptr, "nothing");
+  // Depth bookkeeping must stay balanced: a following real span is a root.
+  TraceBuffer buf;
+  {
+    TraceSpan real(&buf, "root");
+  }
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.events()[0].depth, 0);
+}
+
+TEST(TraceTest, CapacityBoundsMemoryAndCountsDrops) {
+  TraceBuffer buf(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&buf, "s");
+  }
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.dropped(), 3u);
+  const std::string json = buf.ToJson();
+  EXPECT_NE(json.find("\"dropped\":3"), std::string::npos) << json;
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+// Engine wiring, progressive path: building the specification for a
+// progressive program runs ForwardSimulate, which must populate the
+// forward.* instruments and emit nested spans.
+TEST(EngineMetricsTest, CollectMetricsPopulatesForwardInstruments) {
+  EngineOptions options;
+  options.collect_metrics = true;
+  auto tdd = TemporalDatabase::FromSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )", options);
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  auto answer = tdd->Ask("even(1000000)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(*answer);
+
+  ASSERT_NE(tdd->metrics(), nullptr);
+  ASSERT_NE(tdd->trace(), nullptr);
+  EXPECT_GT(tdd->metrics()->counter("forward.timesteps")->value(), 0u);
+  EXPECT_GT(tdd->metrics()->histogram("forward.timestep_ns")->count(), 0u);
+  EXPECT_GT(tdd->trace()->size(), 0u);
+
+  const std::string json = tdd->MetricsJson();
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("forward.timesteps"), std::string::npos);
+}
+
+// Engine wiring, doubling path: a non-progressive program goes through
+// DetectByDoubling, which must count its probes and time its phases.
+TEST(EngineMetricsTest, CollectMetricsPopulatesDoublingInstruments) {
+  EngineOptions options;
+  options.collect_metrics = true;
+  auto tdd = TemporalDatabase::FromSource(R"(
+    q(100).
+    p(T) :- q(T+1).
+    p(T) :- p(T+1).
+  )", options);
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  auto answer = tdd->Ask("p(99)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(*answer);
+  EXPECT_GT(tdd->metrics()->counter("period.doublings")->value(), 0u);
+  EXPECT_GT(tdd->metrics()->histogram("period.extend_ns")->count(), 0u);
+  EXPECT_GT(tdd->metrics()->counter("fixpoint.rounds")->value(), 0u);
+}
+
+TEST(EngineMetricsTest, MetricsOffByDefault) {
+  auto tdd = TemporalDatabase::FromSource("even(0). even(T+2) :- even(T).");
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  EXPECT_EQ(tdd->metrics(), nullptr);
+  EXPECT_EQ(tdd->trace(), nullptr);
+  EXPECT_EQ(tdd->MetricsJson(), "{}");
+}
+
+}  // namespace
+}  // namespace chronolog
