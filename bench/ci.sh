@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
 # CI entry point: a regular Release build + full ctest run, the same suite
-# again with CHRONOLOG_NUM_THREADS=4 (parallel evaluator everywhere), a
-# metrics-liveness check of the chronolog_obs instrumentation, and finally an
-# AddressSanitizer/UBSan build (CHRONOLOG_SANITIZE, see CMakeLists.txt) of
-# the same tree with a full ctest run under the sanitizers.
+# again with CHRONOLOG_NUM_THREADS=4 (parallel evaluator everywhere), the
+# chronolog-lint gate over every shipped example program, a clang-tidy pass
+# (skipped when the binary is absent), a metrics-liveness check of the
+# chronolog_obs instrumentation, an AddressSanitizer/UBSan build
+# (CHRONOLOG_SANITIZE, see CMakeLists.txt) with a full ctest run, and a
+# ThreadSanitizer build running the concurrency-heavy suites with
+# CHRONOLOG_NUM_THREADS=4.
 #
-# Usage: bench/ci.sh [build_dir] [sanitizer_build_dir]
+# Usage: bench/ci.sh [build_dir] [sanitizer_build_dir] [tsan_build_dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 SAN_BUILD_DIR="${2:-build-asan}"
+TSAN_BUILD_DIR="${3:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== release build + tests ($BUILD_DIR) =="
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
@@ -27,6 +31,44 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "== release tests, parallel evaluator (CHRONOLOG_NUM_THREADS=4) =="
 CHRONOLOG_NUM_THREADS=4 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# chronolog-lint gate: every shipped example program must lint clean
+# (exit 0, even with warnings promoted to errors), and the seeded-bad
+# fixtures must be rejected — a lint binary that stops finding anything
+# fails CI just like one that starts rejecting good programs.
+echo "== chronolog-lint gate =="
+LINT="$BUILD_DIR/tools/chronolog-lint"
+for program in examples/programs/*.tdl; do
+  echo "lint: $program"
+  "$LINT" --strict "$program"
+done
+# alarms.tdl is the shipped inflationary witness: the Theorem 5.2 pass must
+# accept it (ski_schedule is non-inflationary by design, so no blanket run).
+"$LINT" --strict --check-inflationary examples/programs/alarms.tdl
+if "$LINT" --strict tests/data/bad_lint.tdl >/dev/null; then
+  echo "lint gate: bad_lint.tdl unexpectedly passed --strict" >&2
+  exit 1
+fi
+if "$LINT" tests/data/bad_parse.tdl 2>/dev/null; then
+  echo "lint gate: bad_parse.tdl unexpectedly parsed" >&2
+  exit 1
+fi
+echo "lint gate: ok"
+
+# clang-tidy over the library and tool sources via the compile database.
+# The check set lives in .clang-tidy. Skipped (with a warning) when
+# clang-tidy is not installed — the g++-only CI image still runs the rest.
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "src/.*\.cc" "tools/.*\.cpp"
+  else
+    find src tools -name '*.cc' -o -name '*.cpp' | \
+      xargs clang-tidy -quiet -p "$BUILD_DIR"
+  fi
+else
+  echo "clang-tidy: not installed, skipping (set up LLVM to enable)"
+fi
 
 # chronolog_obs liveness: run the metered spec-build pass and fail if any
 # histogram stayed empty. Instruments are created at phase *entry*, so an
@@ -60,5 +102,18 @@ cmake --build "$SAN_BUILD_DIR" -j "$JOBS"
 # halt_on_error makes UBSan findings fail the run instead of just logging.
 ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# ThreadSanitizer: a separate tree (TSan is incompatible with ASan, the
+# CMake cache enforces that) running the concurrency-heavy suites — the
+# parallel fixpoint, snapshot hashing, period equivalence and metrics
+# tests — with the parallel evaluator forced on suite-wide.
+echo "== thread sanitizer build + parallel tests ($TSAN_BUILD_DIR) =="
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCHRONOLOG_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
+CHRONOLOG_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint'
 
 echo "ci.sh: all checks passed"

@@ -60,24 +60,141 @@ bool IsDataOnlyRule(const Rule& rule) {
   return true;
 }
 
+namespace {
+
+/// Why a recursive rule is not time-only: names the recursive body literal
+/// whose non-temporal arguments differ from the head's.
+std::string ExplainNotTimeOnly(const Rule& rule, const Vocabulary& vocab) {
+  for (const Atom& atom : rule.body) {
+    if (atom.pred == rule.head.pred && atom.args != rule.head.args) {
+      return "the recursive literal '" +
+             AtomToString(atom, vocab, rule.var_names) +
+             "' changes non-temporal arguments relative to the head '" +
+             AtomToString(rule.head, vocab, rule.var_names) + "'";
+    }
+  }
+  return "no recursive body literal matches the head's non-temporal "
+         "arguments";
+}
+
+/// Why a recursive rule is not data-only: names two literals whose temporal
+/// terms differ.
+std::string ExplainNotDataOnly(const Rule& rule, const Vocabulary& vocab) {
+  const Atom* first = nullptr;
+  auto describe = [&](const Atom& atom) {
+    return "'" + TemporalTermToString(*atom.time, rule.var_names) + "' in '" +
+           AtomToString(atom, vocab, rule.var_names) + "'";
+  };
+  auto check = [&](const Atom& atom) -> std::string {
+    if (!atom.temporal()) return "";
+    if (first == nullptr) {
+      first = &atom;
+      return "";
+    }
+    if (*first->time == *atom.time) return "";
+    return "temporal terms differ across literals (" + describe(*first) +
+           " vs " + describe(atom) + ")";
+  };
+  std::string why = check(rule.head);
+  for (const Atom& atom : rule.body) {
+    if (!why.empty()) break;
+    why = check(atom);
+  }
+  return why.empty() ? "temporal terms differ across literals" : why;
+}
+
+/// Body variables of a time-only rule missing from its head — the
+/// witnesses that the rule is not *reduced* (Section 6).
+std::vector<VarId> UnreducedBodyVars(const Rule& rule) {
+  std::vector<VarId> out;
+  auto head_has = [&rule](VarId v) {
+    for (const NtTerm& t : rule.head.args) {
+      if (t.is_variable() && t.id == v) return true;
+    }
+    return false;
+  };
+  for (const Atom& atom : rule.body) {
+    for (const NtTerm& t : atom.args) {
+      if (t.is_variable() && !head_has(t.id)) out.push_back(t.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
 SeparabilityReport CheckSeparability(const Program& program,
                                      const DependencyGraph& graph) {
   SeparabilityReport report;
+  const Vocabulary& vocab = program.vocab();
+
   if (graph.HasMutualRecursion()) {
+    // Locate the violation at the first rule whose head predicate shares a
+    // strongly connected component with another predicate.
+    for (int c = 0; c < graph.num_components(); ++c) {
+      const std::vector<PredicateId>& members = graph.components()[c];
+      if (members.size() < 2) continue;
+      std::string names;
+      for (PredicateId p : members) {
+        if (!names.empty()) names += ", ";
+        names += "'" + vocab.predicate(p).name + "'";
+      }
+      int rule_index = -1;
+      for (std::size_t i = 0; i < program.rules().size(); ++i) {
+        if (graph.ComponentOf(program.rules()[i].head.pred) == c) {
+          rule_index = static_cast<int>(i);
+          break;
+        }
+      }
+      report.diagnostics.push_back(MakeRuleDiagnostic(
+          program, rule_index, Severity::kWarning, lint_code::kNotSeparable,
+          "rule " + std::to_string(rule_index) + " for '" +
+              vocab.predicate(program.rules()[rule_index].head.pred).name +
+              "' participates in mutual recursion between " + names +
+              "; multi-separability (Section 6) forbids mutually recursive "
+              "predicates"));
+    }
     report.reason = "program contains mutually recursive predicates";
     return report;
   }
+
+  bool multi_separable = true;
   bool separable = true;
-  for (const Rule& rule : program.rules()) {
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
     if (!graph.IsRecursive(rule.head.pred)) continue;
     if (!IsRecursiveRule(rule)) continue;  // base rules are unconstrained
     bool time_only = IsTimeOnlyRule(rule);
     bool data_only = IsDataOnlyRule(rule);
     if (!time_only && !data_only) {
-      report.reason = "recursive rule '" +
-                      RuleToString(rule, program.vocab()) +
-                      "' is neither time-only nor data-only";
-      return report;
+      multi_separable = false;
+      std::string message =
+          "recursive rule " + std::to_string(i) + " '" +
+          RuleToString(rule, vocab) +
+          "' is neither time-only nor data-only: " +
+          ExplainNotTimeOnly(rule, vocab) + "; " +
+          ExplainNotDataOnly(rule, vocab);
+      if (report.reason.empty()) report.reason = message;
+      report.diagnostics.push_back(
+          MakeRuleDiagnostic(program, static_cast<int>(i), Severity::kWarning,
+                             lint_code::kNotSeparable, std::move(message)));
+      continue;
+    }
+    if (time_only && !IsReducedTimeOnlyRule(rule)) {
+      std::string vars;
+      for (VarId v : UnreducedBodyVars(rule)) {
+        if (!vars.empty()) vars += ", ";
+        vars += "'" + rule.var_names[v] + "'";
+      }
+      report.diagnostics.push_back(MakeRuleDiagnostic(
+          program, static_cast<int>(i), Severity::kNote,
+          lint_code::kUnreducedTimeOnly,
+          "rule " + std::to_string(i) +
+              " is recursive time-only but not reduced: variable " + vars +
+              " missing from the head (the Section 6 auxiliary-predicate "
+              "reduction applies before the Theorem 6.3 construction)"));
     }
     if (time_only && !data_only) {
       // Separability further demands at most one temporal body literal.
@@ -88,8 +205,8 @@ SeparabilityReport CheckSeparability(const Program& program,
       if (temporal_literals > 1) separable = false;
     }
   }
-  report.multi_separable = true;
-  report.separable = separable;
+  report.multi_separable = multi_separable;
+  report.separable = multi_separable && separable;
   return report;
 }
 

@@ -2,8 +2,10 @@
 #define CHRONOLOG_ANALYSIS_CLASSIFY_H_
 
 #include <string>
+#include <vector>
 
 #include "analysis/depgraph.h"
+#include "analysis/diagnostics.h"
 #include "ast/program.h"
 
 namespace chronolog {
@@ -27,14 +29,21 @@ bool IsReducedTimeOnlyRule(const Rule& rule);
 /// `happy(T,X) :- happy(T,Y), friend(X,Y).`
 bool IsDataOnlyRule(const Rule& rule);
 
-/// Verdict of the multi-separability test with a human-readable reason on
-/// failure.
+/// Verdict of the multi-separability test with source-located explanations
+/// on failure.
 struct SeparabilityReport {
   bool multi_separable = false;
   /// Separable rules additionally restrict recursive time-only rules to at
   /// most one temporal literal in the body (Section 7 / reference [7]).
   bool separable = false;
+  /// First failure in one line (kept for quick printing); empty when
+  /// multi-separable.
   std::string reason;
+  /// Every violation, located at the offending rule: kNotSeparable (L009)
+  /// failures plus kUnreducedTimeOnly (L010) notes for time-only rules
+  /// that would need the Section 6 auxiliary-predicate reduction before
+  /// the Theorem 6.3 I-period construction applies.
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// Decides multi-separability (Section 6): the program must be free of

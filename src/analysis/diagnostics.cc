@@ -1,0 +1,100 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace chronolog {
+
+std::string_view SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string SourceSpan::ToString() const {
+  if (!valid()) return file;
+  return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+}
+
+SourceSpan ResolveSpan(const Program& program, const SourceLoc& loc) {
+  SourceSpan span;
+  span.file = program.SourceUnitName(loc.unit);
+  if (loc.valid()) {
+    span.line = loc.line;
+    span.column = loc.column;
+  }
+  return span;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = span.ToString();
+  out += ": ";
+  out += SeverityToString(severity);
+  out += ": ";
+  out += message;
+  out += " [" + code + "]";
+  return out;
+}
+
+std::string Diagnostic::ToJson() const {
+  std::string out = "{\"code\":\"" + JsonEscape(code) + "\"";
+  out += ",\"severity\":\"" + std::string(SeverityToString(severity)) + "\"";
+  out += ",\"message\":\"" + JsonEscape(message) + "\"";
+  out += ",\"file\":\"" + JsonEscape(span.file) + "\"";
+  out += ",\"line\":" + std::to_string(span.line);
+  out += ",\"column\":" + std::to_string(span.column);
+  out += ",\"rule\":" + std::to_string(rule_index);
+  out += "}";
+  return out;
+}
+
+Diagnostic MakeRuleDiagnostic(const Program& program, int rule_index,
+                              Severity severity, std::string code,
+                              std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.code = std::move(code);
+  diag.message = std::move(message);
+  diag.rule_index = rule_index;
+  if (rule_index >= 0 &&
+      static_cast<std::size_t>(rule_index) < program.rules().size()) {
+    diag.span = ResolveSpan(program, program.rules()[rule_index].loc);
+  }
+  return diag;
+}
+
+Diagnostic MakeProgramDiagnostic(Severity severity, std::string code,
+                                 std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.code = std::move(code);
+  diag.message = std::move(message);
+  return diag;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::stable_sort(diagnostics->begin(), diagnostics->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.span.file, a.span.line, a.span.column,
+                                     a.code) <
+                            std::tie(b.span.file, b.span.line, b.span.column,
+                                     b.code);
+                   });
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += diagnostics[i].ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace chronolog

@@ -49,6 +49,30 @@ Result<InflationaryReport> CheckInflationary(
     if (!detection.model.Contains(probe)) {
       report.inflationary = false;
       report.failing_predicates.push_back(pred);
+      // Locate the failure at the first rule deriving the predicate.
+      int rule_index = -1;
+      for (std::size_t i = 0; i < program.rules().size(); ++i) {
+        if (program.rules()[i].head.pred == pred) {
+          rule_index = static_cast<int>(i);
+          break;
+        }
+      }
+      std::string witness = info.name + "(1";
+      for (uint32_t j = 0; j < info.arity; ++j) witness += ", a" +
+          std::to_string(j);
+      witness += ")";
+      report.diagnostics.push_back(MakeRuleDiagnostic(
+          program, rule_index, Severity::kWarning,
+          lint_code::kNotInflationary,
+          "derived temporal predicate '" + info.name +
+              "' is not inflationary: " + witness +
+              " is not in the least model of Z with the one-tuple database {" +
+              info.name + "(0, a...)} (Theorem 5.2), so facts may expire "
+              "and the Theorem 5.1 polynomial period bound does not apply" +
+              (rule_index >= 0
+                   ? "; first rule deriving it is rule " +
+                         std::to_string(rule_index)
+                   : std::string())));
     }
   }
   return report;

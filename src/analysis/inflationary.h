@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "ast/program.h"
 #include "spec/period.h"
 #include "util/result.h"
@@ -15,6 +16,10 @@ namespace chronolog {
 struct InflationaryReport {
   bool inflationary = true;
   std::vector<PredicateId> failing_predicates;
+  /// One kNotInflationary (L012) diagnostic per failing predicate, located
+  /// at the first rule deriving it, spelling out the Theorem 5.2 witness
+  /// (`P(1, a)` not derivable from `{P(0, a)}`).
+  std::vector<Diagnostic> diagnostics;
   /// Per-predicate detail: predicate name and whether `P(1, a)` was derivable
   /// from `{P(0, a)}`.
   std::string ToString(const Vocabulary& vocab) const;

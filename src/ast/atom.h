@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "ast/source_location.h"
 #include "ast/term.h"
 #include "ast/vocabulary.h"
 #include "util/hash.h"
@@ -19,6 +20,9 @@ struct Atom {
   PredicateId pred = kInvalidPredicate;
   std::optional<TemporalTerm> time;
   std::vector<NtTerm> args;
+  /// Where the atom was written; invalid for synthesised atoms. Not part of
+  /// structural equality.
+  SourceLoc loc;
 
   bool temporal() const { return time.has_value(); }
 

@@ -34,12 +34,22 @@ Parser::Parser(std::shared_ptr<Vocabulary> vocab)
   }
 }
 
-Status Parser::AddSource(std::string_view source) {
+Status Parser::AddSource(std::string_view source, std::string unit_name) {
   if (finished_) {
     return FailedPreconditionError("Parser::AddSource called after Finish");
   }
+  unit_names_.push_back(std::move(unit_name));
   CHRONOLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   return ParseUnitTokens(tokens);
+}
+
+std::string Parser::Where(int line, int column, int32_t unit) const {
+  std::string out = At(line, column);
+  if (unit >= 0 && static_cast<std::size_t>(unit) < unit_names_.size() &&
+      unit_names_[unit] != "<input>") {
+    out += " of " + unit_names_[unit];
+  }
+  return out;
 }
 
 Status Parser::ParseUnitTokens(const std::vector<Token>& tokens) {
@@ -135,6 +145,7 @@ Status Parser::ParseDirective(const std::vector<Token>& tokens,
   state.pinned = true;
   state.line = at.line;
   state.column = at.column;
+  state.unit = static_cast<int32_t>(unit_names_.size()) - 1;
   return Status::Ok();
 }
 
@@ -148,6 +159,7 @@ Result<Parser::RawAtom> Parser::ParseRawAtom(const std::vector<Token>& tokens,
   atom.pred = name.text;
   atom.line = name.line;
   atom.column = name.column;
+  atom.unit = static_cast<int32_t>(unit_names_.size()) - 1;
   ++*pos;
   if (tokens[*pos].kind != TokenKind::kLParen) {
     return atom;  // zero-ary predicate
@@ -237,6 +249,7 @@ Status Parser::NotePredicate(const RawAtom& atom) {
     state.written_arity = static_cast<uint32_t>(atom.args.size());
     state.line = atom.line;
     state.column = atom.column;
+    state.unit = atom.unit;
     return Status::Ok();
   }
   if (state.written_arity != atom.args.size()) {
@@ -397,18 +410,22 @@ Result<ParsedUnit> Parser::Lower() {
         PredicateId id, vocab_->DeclarePredicate(name, state.written_arity));
     if (state.sort == Sort::kTemporal) {
       if (state.written_arity == 0) {
-        return InvalidArgumentError("temporal predicate '" + name +
-                                    "' needs the temporal argument");
+        return InvalidArgumentError(
+            "temporal predicate '" + name +
+            "' needs the temporal argument" +
+            Where(state.line, state.column, state.unit));
       }
       if (!vocab_->predicate(id).is_temporal) vocab_->SetTemporal(id);
     } else if (vocab_->predicate(id).is_temporal) {
       return InvalidArgumentError(
           "predicate '" + name +
-          "' was declared temporal but is now used as non-temporal");
+          "' was declared temporal but is now used as non-temporal" +
+          Where(state.line, state.column, state.unit));
     }
   }
 
   ParsedUnit unit{Program(vocab_), Database(vocab_)};
+  unit.program.SetSourceUnits(unit_names_);
 
   for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
     const RawClause& clause = clauses_[ci];
@@ -430,6 +447,7 @@ Result<ParsedUnit> Parser::Lower() {
 
     auto lower_atom = [&](const RawAtom& raw) -> Result<Atom> {
       Atom atom;
+      atom.loc = SourceLoc{raw.line, raw.column, raw.unit};
       atom.pred = vocab_->FindPredicate(raw.pred);
       const PredicateInfo& info = vocab_->predicate(atom.pred);
       std::size_t j = 0;
@@ -469,16 +487,19 @@ Result<ParsedUnit> Parser::Lower() {
       if (has_interval(clause.head)) {
         return InvalidArgumentError(
             "interval terms are fact abbreviations and cannot appear in "
-            "rules" + At(clause.head.line, clause.head.column));
+            "rules" +
+            Where(clause.head.line, clause.head.column, clause.head.unit));
       }
       for (const RawAtom& raw : clause.body) {
         if (has_interval(raw)) {
           return InvalidArgumentError(
               "interval terms are fact abbreviations and cannot appear in "
-              "rules" + At(raw.line, raw.column));
+              "rules" + Where(raw.line, raw.column, raw.unit));
         }
       }
       Rule rule;
+      rule.loc = SourceLoc{clause.head.line, clause.head.column,
+                           clause.head.unit};
       CHRONOLOG_ASSIGN_OR_RETURN(rule.head, lower_atom(clause.head));
       for (const RawAtom& raw : clause.body) {
         CHRONOLOG_ASSIGN_OR_RETURN(Atom atom, lower_atom(raw));
@@ -487,10 +508,16 @@ Result<ParsedUnit> Parser::Lower() {
       rule.var_names = std::move(var_names);
       rule.temporal_vars = std::move(temporal_vars);
       if (!rule.IsRangeRestricted()) {
+        std::string unsafe;
+        for (VarId v : rule.UnsafeHeadVars()) {
+          if (!unsafe.empty()) unsafe += ", ";
+          unsafe += "'" + rule.var_names[v] + "'";
+        }
         return InvalidArgumentError(
             "rule for '" + clause.head.pred +
             "' is not range-restricted (every head variable must also occur "
-            "in the body)" + At(clause.head.line, clause.head.column));
+            "in the body; unbound: " + unsafe + ")" +
+            Where(clause.head.line, clause.head.column, clause.head.unit));
       }
       unit.program.AddRule(std::move(rule));
     } else {
@@ -515,7 +542,7 @@ Result<ParsedUnit> Parser::Lower() {
           return InvalidArgumentError(
               "database tuple for '" + clause.head.pred +
               "' contains variables" +
-              At(clause.head.line, clause.head.column));
+              Where(clause.head.line, clause.head.column, clause.head.unit));
         }
         GroundAtom fact;
         fact.pred = atom.pred;

@@ -49,7 +49,11 @@ class Parser {
   explicit Parser(std::shared_ptr<Vocabulary> vocab = nullptr);
 
   /// Tokenizes and syntactically parses `source`, buffering its clauses.
-  Status AddSource(std::string_view source);
+  /// `unit_name` (a file name, typically) is recorded in the lowered
+  /// program's source-unit table and referenced by every `SourceLoc` of
+  /// this unit, so diagnostics can render file:line:column spans.
+  Status AddSource(std::string_view source,
+                   std::string unit_name = "<input>");
 
   /// Runs sort inference over everything buffered, lowers to the typed AST
   /// and returns the rules and database. The parser may not be reused
@@ -75,6 +79,7 @@ class Parser {
     std::vector<RawTerm> args;
     int line = 0;
     int column = 0;
+    int32_t unit = -1;  // index into unit_names_
   };
   struct RawClause {
     RawAtom head;
@@ -90,6 +95,7 @@ class Parser {
     bool pinned = false;  // set by directive or pre-existing vocabulary
     int line = 0;
     int column = 0;
+    int32_t unit = -1;  // unit of the first occurrence / declaration
   };
 
   // --- syntactic phase ---
@@ -107,7 +113,12 @@ class Parser {
   // --- lowering ---
   Result<ParsedUnit> Lower();
 
+  /// " at line L, column C[ of unit]" for Finish-time errors, which have
+  /// lost the AddSource context.
+  std::string Where(int line, int column, int32_t unit) const;
+
   std::shared_ptr<Vocabulary> vocab_;
+  std::vector<std::string> unit_names_;
   std::vector<RawClause> clauses_;
   std::unordered_map<std::string, PredState> pred_states_;
   // Inferred variable sorts, keyed by (clause index, variable name).

@@ -4,6 +4,14 @@
 
 namespace chronolog {
 
+const std::string& Program::SourceUnitName(int32_t unit) const {
+  static const std::string kUnknown = "<input>";
+  if (unit < 0 || static_cast<std::size_t>(unit) >= source_units_.size()) {
+    return kUnknown;
+  }
+  return source_units_[unit];
+}
+
 std::vector<PredicateId> Program::DerivedPredicates() const {
   std::vector<PredicateId> out;
   for (const Rule& r : rules_) out.push_back(r.head.pred);

@@ -57,9 +57,22 @@ class Program {
   /// predicates (Section 5).
   std::vector<PredicateId> DerivedPredicates() const;
 
+  /// Names of the source units the rules were parsed from, indexed by
+  /// `SourceLoc::unit`. Empty for programmatically built programs.
+  const std::vector<std::string>& source_units() const {
+    return source_units_;
+  }
+  void SetSourceUnits(std::vector<std::string> units) {
+    source_units_ = std::move(units);
+  }
+  /// Resolves `SourceLoc::unit` to a display name; "<input>" when the unit
+  /// is unknown or out of range.
+  const std::string& SourceUnitName(int32_t unit) const;
+
  private:
   std::vector<Rule> rules_;
   std::shared_ptr<Vocabulary> vocab_;
+  std::vector<std::string> source_units_;
 };
 
 /// A finite temporal database — the `D` of `Z ∧ D`: ground temporal and

@@ -1,6 +1,7 @@
 #include "ast/rule.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace chronolog {
 
@@ -40,6 +41,15 @@ std::vector<VarId> Rule::BodyVars() const {
   std::vector<VarId> out;
   for (const Atom& a : body) CollectAtomVars(a, &out);
   SortUnique(&out);
+  return out;
+}
+
+std::vector<VarId> Rule::UnsafeHeadVars() const {
+  std::vector<VarId> head_vars = HeadVars();
+  std::vector<VarId> body_vars = BodyVars();
+  std::vector<VarId> out;
+  std::set_difference(head_vars.begin(), head_vars.end(), body_vars.begin(),
+                      body_vars.end(), std::back_inserter(out));
   return out;
 }
 

@@ -16,6 +16,9 @@ struct Rule {
   std::vector<Atom> body;
   std::vector<std::string> var_names;
   std::vector<bool> temporal_vars;
+  /// Position of the rule (its head atom) in the source it was parsed
+  /// from; invalid for synthesised rules.
+  SourceLoc loc;
 
   std::size_t num_vars() const { return var_names.size(); }
 
@@ -64,6 +67,10 @@ struct Rule {
   /// VarIds (with multiplicity removed) occurring in the head / in the body.
   std::vector<VarId> HeadVars() const;
   std::vector<VarId> BodyVars() const;
+
+  /// Head variables with no body occurrence — the witnesses of a
+  /// range-restriction violation (empty iff IsRangeRestricted()).
+  std::vector<VarId> UnsafeHeadVars() const;
 };
 
 }  // namespace chronolog

@@ -1,0 +1,34 @@
+#ifndef CHRONOLOG_AST_SOURCE_LOCATION_H_
+#define CHRONOLOG_AST_SOURCE_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace chronolog {
+
+/// Position of an AST node in the surface syntax it was parsed from.
+/// Synthesised nodes (normalisation, temporalisation, workload generators)
+/// keep the default-constructed invalid location; diagnostics fall back to
+/// rule indexes for those.
+struct SourceLoc {
+  int32_t line = 0;    // 1-based; 0 means "no source position"
+  int32_t column = 0;  // 1-based
+  int32_t unit = -1;   // index into Program::source_units(); -1 = unknown
+
+  bool valid() const { return line > 0; }
+
+  /// "line:column" ("?" when invalid). Unit resolution needs the owning
+  /// Program and lives in analysis/diagnostics.h.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return a.line == b.line && a.column == b.column && a.unit == b.unit;
+  }
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_AST_SOURCE_LOCATION_H_

@@ -5,15 +5,36 @@
 
 namespace chronolog {
 
+Result<TemporalDatabase> TemporalDatabase::ApplyLintLevel(
+    TemporalDatabase tdd) {
+  if (tdd.options_.lint_level == EngineOptions::LintLevel::kOff) {
+    return std::move(tdd);
+  }
+  LintResult lint = LintProgram(tdd.unit_.program, tdd.unit_.database,
+                                tdd.options_.lint);
+  if (tdd.options_.lint_level == EngineOptions::LintLevel::kReject &&
+      lint.has_errors()) {
+    std::string message = "program rejected by chronolog_lint:";
+    for (const Diagnostic& diag : lint.diagnostics) {
+      if (diag.severity == Severity::kError) {
+        message += "\n  " + diag.ToString();
+      }
+    }
+    return InvalidArgumentError(message);
+  }
+  tdd.lint_ = std::move(lint);
+  return std::move(tdd);
+}
+
 Result<TemporalDatabase> TemporalDatabase::FromSource(std::string_view source,
                                                       EngineOptions options) {
   CHRONOLOG_ASSIGN_OR_RETURN(ParsedUnit unit, Parser::Parse(source));
-  return TemporalDatabase(std::move(unit), options);
+  return ApplyLintLevel(TemporalDatabase(std::move(unit), options));
 }
 
 Result<TemporalDatabase> TemporalDatabase::FromParsedUnit(
     ParsedUnit unit, EngineOptions options) {
-  return TemporalDatabase(std::move(unit), options);
+  return ApplyLintLevel(TemporalDatabase(std::move(unit), options));
 }
 
 const ProgramClassification& TemporalDatabase::classification() {

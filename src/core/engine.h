@@ -8,6 +8,7 @@
 
 #include "analysis/classify.h"
 #include "analysis/inflationary.h"
+#include "analysis/lint.h"
 #include "ast/parser.h"
 #include "ast/program.h"
 #include "eval/bt.h"
@@ -31,6 +32,17 @@ struct EngineOptions {
   /// those already request their own thread count. Results are
   /// thread-count independent.
   int num_threads = 1;
+  /// When to run chronolog_lint over the program before evaluation.
+  ///  - kOff    (default): no lint pass, behaviour identical to before.
+  ///  - kWarn:   lint at construction; diagnostics are retained and
+  ///             queryable via TemporalDatabase::lint(), never fatal.
+  ///  - kReject: like kWarn, but FromSource / FromParsedUnit fail with
+  ///             kInvalidArgument when any error-severity diagnostic
+  ///             (L001/L002-class) is present. Warnings never reject.
+  enum class LintLevel { kOff, kWarn, kReject };
+  LintLevel lint_level = LintLevel::kOff;
+  /// Pass configuration used when `lint_level != kOff`.
+  LintOptions lint;
   /// Build the chronolog_obs observability layer for this database: the
   /// engine owns a MetricsRegistry + TraceBuffer and wires them through
   /// every evaluator it drives (specification builds, inflationary checks,
@@ -70,6 +82,11 @@ class TemporalDatabase {
   const Program& program() const { return unit_.program; }
   const Database& database() const { return unit_.database; }
   const Vocabulary& vocab() const { return unit_.program.vocab(); }
+
+  /// Diagnostics from the construction-time lint run; empty when
+  /// `EngineOptions::lint_level == kOff` (lint never ran) or the program is
+  /// clean.
+  const LintResult& lint() const { return lint_; }
 
   /// Syntactic classification (computed once, cached).
   const ProgramClassification& classification();
@@ -118,6 +135,11 @@ class TemporalDatabase {
   std::string MetricsJson() const;
 
  private:
+  /// Runs the construction-time lint pass mandated by
+  /// `EngineOptions::lint_level` (no-op for kOff); rejects with
+  /// kInvalidArgument on error diagnostics under kReject.
+  static Result<TemporalDatabase> ApplyLintLevel(TemporalDatabase tdd);
+
   TemporalDatabase(ParsedUnit unit, EngineOptions options)
       : unit_(std::move(unit)), options_(options) {
     if (options_.num_threads > 1) {
@@ -143,6 +165,7 @@ class TemporalDatabase {
 
   ParsedUnit unit_;
   EngineOptions options_;
+  LintResult lint_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<TraceBuffer> trace_;
   std::optional<ProgramClassification> classification_;

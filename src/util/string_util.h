@@ -18,6 +18,10 @@ bool IsAllDigits(std::string_view s);
 /// malformed input.
 bool ParseUint64(std::string_view s, uint64_t* out);
 
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// control characters). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace chronolog
 
 #endif  // CHRONOLOG_UTIL_STRING_UTIL_H_

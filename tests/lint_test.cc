@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+#include "ast/parser.h"
+#include "core/engine.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+LintResult LintSource(std::string_view src, LintOptions options = {}) {
+  ParsedUnit unit = MustParse(src);
+  return LintProgram(unit.program, unit.database, options);
+}
+
+std::vector<std::string> Codes(const LintResult& result) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : result.diagnostics) codes.push_back(d.code);
+  return codes;
+}
+
+bool HasCode(const LintResult& result, std::string_view code) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+const Diagnostic& FirstWithCode(const LintResult& result,
+                                std::string_view code) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) return d;
+  }
+  ADD_FAILURE() << "no diagnostic with code " << code << " in:\n"
+                << result.ToString();
+  static const Diagnostic kEmpty;
+  return kEmpty;
+}
+
+// --------------------------------------------------------------------------
+// Clean programs produce zero diagnostics.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, CleanProgramHasNoDiagnostics) {
+  LintResult result = LintSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )");
+  EXPECT_TRUE(result.diagnostics.empty()) << result.ToString();
+  EXPECT_FALSE(result.has_errors());
+  EXPECT_EQ(result.ToString(), "");
+}
+
+TEST(LintTest, CleanSkiScheduleHasNoDiagnostics) {
+  LintResult result = LintSource(R"(
+    plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+    plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+    offseason(T+10) :- offseason(T).
+    winter(T+10) :- winter(T).
+    resort(hunter).
+    plane(0, hunter).
+    winter(0..4).
+    offseason(5..9).
+  )");
+  EXPECT_TRUE(result.diagnostics.empty()) << result.ToString();
+}
+
+// --------------------------------------------------------------------------
+// L001 safety / L002 sorts: only constructible programmatically — the
+// parser rejects such programs at Finish() time.
+// --------------------------------------------------------------------------
+
+// p(X) :- q(Y).  — head variable X unbound.
+ParsedUnit BuildUnsafeUnit() {
+  auto vocab = std::make_shared<Vocabulary>();
+  PredicateId p = vocab->DeclarePredicate("p", 1).value();
+  PredicateId q = vocab->DeclarePredicate("q", 1).value();
+  Rule rule;
+  rule.var_names = {"X", "Y"};
+  rule.temporal_vars = {false, false};
+  rule.head.pred = p;
+  rule.head.args = {NtTerm::Variable(0)};
+  Atom body;
+  body.pred = q;
+  body.args = {NtTerm::Variable(1)};
+  rule.body.push_back(body);
+  ParsedUnit unit{Program(vocab), Database(vocab)};
+  unit.program.AddRule(std::move(rule));
+  GroundAtom fact;
+  fact.pred = q;
+  fact.args = {vocab->InternConstant("a")};
+  unit.database.AddFact(fact);
+  return unit;
+}
+
+TEST(LintTest, L001NamesTheUnboundVariable) {
+  ParsedUnit unit = BuildUnsafeUnit();
+  LintResult result = LintProgram(unit.program, unit.database);
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kUnsafeVariable);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_TRUE(result.has_errors());
+  EXPECT_NE(diag.message.find("'X'"), std::string::npos) << diag.message;
+  EXPECT_NE(diag.message.find("range-restricted"), std::string::npos);
+  EXPECT_EQ(diag.rule_index, 0);
+  // Synthesised rules have no source position.
+  EXPECT_EQ(diag.span.line, 0);
+  EXPECT_EQ(diag.span.file, "<input>");
+}
+
+// p(T, X) :- p(T, X) with a temporal variable leaking into a data position.
+ParsedUnit BuildSortMisuseUnit() {
+  auto vocab = std::make_shared<Vocabulary>();
+  PredicateId p = vocab->DeclarePredicate("p", 2).value();
+  vocab->SetTemporal(p);
+  Rule rule;
+  rule.var_names = {"T"};
+  rule.temporal_vars = {true};
+  rule.head.pred = p;
+  rule.head.time = TemporalTerm::Var(0);
+  rule.head.args = {NtTerm::Variable(0)};  // temporal var as data arg
+  Atom body = rule.head;
+  rule.body.push_back(body);
+  ParsedUnit unit{Program(vocab), Database(vocab)};
+  unit.program.AddRule(std::move(rule));
+  return unit;
+}
+
+TEST(LintTest, L002FlagsTemporalVariableInDataPosition) {
+  ParsedUnit unit = BuildSortMisuseUnit();
+  LintResult result = LintProgram(unit.program, unit.database);
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kSortMisuse);
+  EXPECT_EQ(diag.severity, Severity::kError);
+  EXPECT_NE(diag.message.find("'T'"), std::string::npos) << diag.message;
+  EXPECT_NE(diag.message.find("non-temporal argument position"),
+            std::string::npos);
+}
+
+TEST(LintTest, L002FlagsArityMismatchInDatabase) {
+  auto vocab = std::make_shared<Vocabulary>();
+  PredicateId p = vocab->DeclarePredicate("p", 1).value();
+  ParsedUnit unit{Program(vocab), Database(vocab)};
+  GroundAtom fact;
+  fact.pred = p;
+  fact.args = {vocab->InternConstant("a"), vocab->InternConstant("b")};
+  unit.database.AddFact(fact);
+  LintResult result = LintProgram(unit.program, unit.database);
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kSortMisuse);
+  EXPECT_NE(diag.message.find("database tuple"), std::string::npos)
+      << diag.message;
+}
+
+// --------------------------------------------------------------------------
+// L003 singleton variables.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L003FlagsSingletonVariable) {
+  LintResult result = LintSource(R"(
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )");
+  const Diagnostic& diag =
+      FirstWithCode(result, lint_code::kSingletonVariable);
+  EXPECT_EQ(diag.severity, Severity::kWarning);
+  EXPECT_NE(diag.message.find("'Y'"), std::string::npos) << diag.message;
+  EXPECT_EQ(diag.rule_index, 0);
+  EXPECT_GT(diag.span.line, 0);  // parsed rules carry a position
+}
+
+TEST(LintTest, L003IgnoresUnderscorePrefixedVariables) {
+  LintResult result = LintSource(R"(
+    flagged(X) :- watch(X, _Y).
+    watch(a, b).
+  )");
+  EXPECT_FALSE(HasCode(result, lint_code::kSingletonVariable))
+      << result.ToString();
+}
+
+// --------------------------------------------------------------------------
+// L004 duplicate rules (up to variable renaming).
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L004FlagsAlphaEquivalentDuplicate) {
+  LintResult result = LintSource(R"(
+    flagged(A) :- vip(A).
+    flagged(B) :- vip(B).
+    vip(a).
+  )");
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kDuplicateRule);
+  EXPECT_EQ(diag.severity, Severity::kWarning);
+  EXPECT_EQ(diag.rule_index, 1);  // the later rule is the duplicate
+  EXPECT_NE(diag.message.find("duplicates rule 0"), std::string::npos)
+      << diag.message;
+}
+
+TEST(LintTest, L004DistinguishesDifferentConstants) {
+  LintResult result = LintSource(R"(
+    flagged(A) :- vip(A, x).
+    flagged(B) :- vip(B, y).
+    vip(a, x). vip(a, y).
+  )");
+  EXPECT_FALSE(HasCode(result, lint_code::kDuplicateRule))
+      << result.ToString();
+}
+
+// --------------------------------------------------------------------------
+// L005 trivially subsumed rules.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L005FlagsBodySupersetWithSameHead) {
+  LintResult result = LintSource(R"(
+    flagged(A) :- vip(A).
+    flagged(C) :- vip(C), watch(C, C).
+    vip(a). watch(a, a).
+  )");
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kSubsumedRule);
+  EXPECT_EQ(diag.rule_index, 1);  // the more constrained rule is redundant
+  EXPECT_NE(diag.message.find("subsumed"), std::string::npos);
+  EXPECT_FALSE(HasCode(result, lint_code::kDuplicateRule));
+}
+
+// --------------------------------------------------------------------------
+// L006 dead rules / L007 underivable predicates.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L006AndL007ExplainDeadRuleAndGhostPredicate) {
+  LintResult result = LintSource(R"(
+    alerted(X) :- flagged(X), ghost(X).
+    flagged(a).
+  )");
+  const Diagnostic& dead = FirstWithCode(result, lint_code::kDeadRule);
+  EXPECT_NE(dead.message.find("'ghost'"), std::string::npos) << dead.message;
+  EXPECT_NE(dead.message.find("never fire"), std::string::npos);
+  // ghost: no facts, no rules; alerted: underivable because its only rule
+  // is dead.
+  std::size_t underivable = 0;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == lint_code::kUnderivablePredicate) ++underivable;
+  }
+  EXPECT_EQ(underivable, 2u) << result.ToString();
+}
+
+TEST(LintTest, RecursiveRulesWithBaseFactsAreNotDead) {
+  LintResult result = LintSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )");
+  EXPECT_FALSE(HasCode(result, lint_code::kDeadRule));
+  EXPECT_FALSE(HasCode(result, lint_code::kUnderivablePredicate));
+}
+
+// --------------------------------------------------------------------------
+// L008 unreachable from query roots.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L008FlagsRulesIrrelevantToRoots) {
+  LintOptions options;
+  options.roots = {"reach"};
+  LintResult result = LintSource(R"(
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- reach(X, Z), edge(Z, Y).
+    other(X) :- edge(X, X).
+    edge(a, b). edge(a, a).
+  )",
+                                 options);
+  const Diagnostic& diag =
+      FirstWithCode(result, lint_code::kUnreachableFromRoots);
+  EXPECT_EQ(diag.severity, Severity::kNote);
+  EXPECT_NE(diag.message.find("'other'"), std::string::npos) << diag.message;
+  EXPECT_NE(diag.message.find("'reach'"), std::string::npos);
+}
+
+TEST(LintTest, L008SilentWithoutRoots) {
+  LintResult result = LintSource(R"(
+    other(X) :- edge(X, X).
+    edge(a, a).
+  )");
+  EXPECT_FALSE(HasCode(result, lint_code::kUnreachableFromRoots));
+}
+
+// --------------------------------------------------------------------------
+// L009/L010: explained classification failures.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L009ExplainsMutualRecursion) {
+  LintResult result = LintSource(R"(
+    a(0). b(0).
+    a(T+1) :- b(T).
+    b(T+1) :- a(T).
+  )");
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kNotSeparable);
+  EXPECT_NE(diag.message.find("mutual recursion"), std::string::npos)
+      << diag.message;
+  EXPECT_NE(diag.message.find("'a'"), std::string::npos);
+  EXPECT_NE(diag.message.find("'b'"), std::string::npos);
+}
+
+TEST(LintTest, L009ExplainsMixedRecursionWithRuleText) {
+  LintResult result = LintSource(R"(
+    tok(0, a).
+    tok(T+1, Y) :- tok(T, X), edge(X, Y).
+    edge(a, b). edge(b, a).
+  )");
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kNotSeparable);
+  EXPECT_NE(diag.message.find("neither time-only nor data-only"),
+            std::string::npos)
+      << diag.message;
+  // The explanation names the offending literal and the differing temporal
+  // terms.
+  EXPECT_NE(diag.message.find("tok(T, X)"), std::string::npos);
+  EXPECT_NE(diag.message.find("T+1"), std::string::npos);
+  EXPECT_GT(diag.span.line, 0);
+}
+
+TEST(LintTest, L010ExplainsUnreducedTimeOnlyRule) {
+  // Time-only recursion (head args == recursive literal args) with a body
+  // variable Y missing from the head: reduced form does not hold.
+  LintResult result = LintSource(R"(
+    p(0, a).
+    q(a, b).
+    p(T+1, X) :- p(T, X), q(X, Y), q(Y, X).
+  )");
+  const Diagnostic& diag =
+      FirstWithCode(result, lint_code::kUnreducedTimeOnly);
+  EXPECT_EQ(diag.severity, Severity::kNote);
+  EXPECT_NE(diag.message.find("'Y'"), std::string::npos) << diag.message;
+  EXPECT_NE(diag.message.find("missing from the head"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// L011: progressivity.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L011NotesNonProgressiveProgram) {
+  // The backward rule p(T) :- q(T+1) violates progressivity (the head's
+  // temporal depth is below the body's), so period detection cannot use
+  // the one-pass forward simulator.
+  LintResult result = LintSource(R"(
+    q(100).
+    p(T) :- q(T+1).
+  )");
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kNotProgressive);
+  EXPECT_EQ(diag.severity, Severity::kNote);
+  EXPECT_NE(diag.message.find("not progressive"), std::string::npos)
+      << diag.message;
+}
+
+TEST(LintTest, L011SilentForProgressivePrograms) {
+  LintResult result = LintSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )");
+  EXPECT_FALSE(HasCode(result, lint_code::kNotProgressive));
+}
+
+// --------------------------------------------------------------------------
+// L012: inflationary decision procedure (opt-in).
+// --------------------------------------------------------------------------
+
+TEST(LintTest, L012NamesNonInflationaryPredicate) {
+  LintOptions options;
+  options.check_inflationary = true;
+  // even is not inflationary: even(1) is not derivable from {even(0)}.
+  LintResult result = LintSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )",
+                                 options);
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kNotInflationary);
+  EXPECT_NE(diag.message.find("'even'"), std::string::npos) << diag.message;
+  EXPECT_NE(diag.message.find("Theorem 5.2"), std::string::npos);
+  EXPECT_EQ(diag.rule_index, 0);  // first (only) rule deriving even
+}
+
+TEST(LintTest, L012SilentForInflationaryProgram) {
+  LintOptions options;
+  options.check_inflationary = true;
+  LintResult result = LintSource(R"(
+    alive(0, a).
+    alive(T+1, X) :- alive(T, X).
+  )",
+                                 options);
+  EXPECT_FALSE(HasCode(result, lint_code::kNotInflationary))
+      << result.ToString();
+}
+
+TEST(LintTest, InflationaryPassIsOptIn) {
+  LintResult result = LintSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )");
+  EXPECT_FALSE(HasCode(result, lint_code::kNotInflationary));
+}
+
+// --------------------------------------------------------------------------
+// Pass registry, disabling, ordering, JSON.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, RegistryListsAllPasses) {
+  const std::vector<LintPassInfo>& passes = LintPassRegistry();
+  std::vector<std::string_view> names;
+  for (const LintPassInfo& p : passes) names.push_back(p.name);
+  for (const char* expected :
+       {"safety", "sorts", "singleton", "duplicate", "subsumed",
+        "reachability", "classification", "inflationary"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing pass " << expected;
+  }
+}
+
+TEST(LintTest, DisabledPassesAreSkipped) {
+  LintOptions options;
+  options.disabled_passes = {"singleton"};
+  LintResult result = LintSource(R"(
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )",
+                                 options);
+  EXPECT_FALSE(HasCode(result, lint_code::kSingletonVariable));
+}
+
+TEST(LintTest, DiagnosticsAreSortedBySourcePosition) {
+  LintResult result = LintSource(R"(
+    alerted(X) :- flagged(X), ghost(X).
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )");
+  EXPECT_GE(result.diagnostics.size(), 2u);
+  for (std::size_t i = 1; i < result.diagnostics.size(); ++i) {
+    const SourceSpan& a = result.diagnostics[i - 1].span;
+    const SourceSpan& b = result.diagnostics[i].span;
+    EXPECT_LE(std::make_tuple(a.file, a.line, a.column),
+              std::make_tuple(b.file, b.line, b.column));
+  }
+}
+
+TEST(LintTest, JsonOutputIsWellFormedish) {
+  LintResult result = LintSource(R"(
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )");
+  std::string json = result.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\":\"L003\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Engine integration: EngineOptions::lint_level.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, EngineLintOffPreservesBehaviour) {
+  auto tdd = TemporalDatabase::FromSource(R"(
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )");
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  EXPECT_TRUE(tdd->lint().diagnostics.empty());
+  auto answer = tdd->Ask("flagged(a)");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(*answer);
+}
+
+TEST(LintTest, EngineLintWarnRetainsDiagnosticsWithoutRejecting) {
+  EngineOptions options;
+  options.lint_level = EngineOptions::LintLevel::kWarn;
+  auto tdd = TemporalDatabase::FromSource(R"(
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )",
+                                          options);
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  EXPECT_TRUE(HasCode(tdd->lint(), lint_code::kSingletonVariable));
+  auto answer = tdd->Ask("flagged(a)");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(*answer);
+}
+
+TEST(LintTest, EngineLintRejectRefusesUnsafeProgram) {
+  EngineOptions options;
+  options.lint_level = EngineOptions::LintLevel::kReject;
+  auto tdd = TemporalDatabase::FromParsedUnit(BuildUnsafeUnit(), options);
+  ASSERT_FALSE(tdd.ok());
+  EXPECT_NE(tdd.status().message().find("rejected by chronolog_lint"),
+            std::string::npos)
+      << tdd.status();
+  EXPECT_NE(tdd.status().message().find("[L001]"), std::string::npos);
+}
+
+TEST(LintTest, EngineLintRejectAcceptsWarningsOnly) {
+  EngineOptions options;
+  options.lint_level = EngineOptions::LintLevel::kReject;
+  auto tdd = TemporalDatabase::FromSource(R"(
+    flagged(X) :- watch(X, Y).
+    watch(a, b).
+  )",
+                                          options);
+  ASSERT_TRUE(tdd.ok()) << tdd.status();  // warnings never reject
+  EXPECT_TRUE(HasCode(tdd->lint(), lint_code::kSingletonVariable));
+}
+
+TEST(LintTest, EngineLintOffByDefaultAcceptsUnsafeUnit) {
+  auto tdd = TemporalDatabase::FromParsedUnit(BuildUnsafeUnit());
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+}
+
+// --------------------------------------------------------------------------
+// Diagnostic formatting.
+// --------------------------------------------------------------------------
+
+TEST(LintTest, DiagnosticToStringCarriesSpanSeverityAndCode) {
+  LintResult result = LintSource(R"(flagged(X) :- watch(X, Y).
+watch(a, b).
+)");
+  const Diagnostic& diag =
+      FirstWithCode(result, lint_code::kSingletonVariable);
+  std::string text = diag.ToString();
+  EXPECT_NE(text.find("<input>:1:1"), std::string::npos) << text;
+  EXPECT_NE(text.find("warning:"), std::string::npos);
+  EXPECT_NE(text.find("[L003]"), std::string::npos);
+}
+
+TEST(LintTest, SummaryLineCountsSeverities) {
+  LintResult result = LintSource(R"(
+    flagged(A) :- vip(A).
+    flagged(B) :- vip(B).
+    vip(a).
+  )");
+  EXPECT_EQ(Codes(result), std::vector<std::string>{"L004"});
+  EXPECT_NE(result.ToString().find("0 error(s), 1 warning(s)"),
+            std::string::npos)
+      << result.ToString();
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -191,6 +191,93 @@ TEST(ParserTest, DirectiveOnZeroArityFails) {
   EXPECT_FALSE(unit.ok());
 }
 
+// --------------------------------------------------------------------------
+// Error positions: every parse error names the offending line and column,
+// including Finish-time (sort inference / lowering) errors.
+// --------------------------------------------------------------------------
+
+TEST(ParserTest, SyntaxErrorCarriesLineAndColumn) {
+  auto unit = Parse("p(a).\nq(b)\nr(c).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("line 3, column 1"),
+            std::string::npos)
+      << unit.status();
+}
+
+TEST(ParserTest, RangeRestrictionErrorCarriesPositionAndVariable) {
+  auto unit = Parse("q(a).\np(X) :- q(Y).");
+  ASSERT_FALSE(unit.ok());
+  const std::string& message = unit.status().message();
+  EXPECT_NE(message.find("'X'"), std::string::npos) << unit.status();
+  EXPECT_NE(message.find("line 2, column 1"), std::string::npos)
+      << unit.status();
+}
+
+TEST(ParserTest, SortConflictErrorCarriesPosition) {
+  auto unit = Parse("p(0). p(T+1) :- p(T).\np(zero).");
+  ASSERT_FALSE(unit.ok());
+  // Points at the offending term, not just the clause.
+  EXPECT_NE(unit.status().message().find("line 2, column 3"),
+            std::string::npos)
+      << unit.status();
+}
+
+TEST(ParserTest, ArityMismatchErrorCarriesPosition) {
+  auto unit = Parse("p(a).\n\np(a, b).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("line 3, column 1"),
+            std::string::npos)
+      << unit.status();
+}
+
+TEST(ParserTest, NonGroundFactErrorCarriesPosition) {
+  auto unit = Parse("q(a).\np(X).\nq(b).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("line 2, column 1"),
+            std::string::npos)
+      << unit.status();
+}
+
+TEST(ParserTest, FinishErrorNamesTheSourceUnit) {
+  Parser parser;
+  ASSERT_TRUE(parser.AddSource("q(a).", "good.tdd").ok());
+  ASSERT_TRUE(parser.AddSource("p(X) :- q(Y).", "bad.tdd").ok());
+  auto unit = parser.Finish();
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("of bad.tdd"), std::string::npos)
+      << unit.status();
+}
+
+// --------------------------------------------------------------------------
+// Source spans on the lowered AST
+// --------------------------------------------------------------------------
+
+TEST(ParserTest, RulesAndAtomsCarrySourceLocations) {
+  auto unit = Parse("even(0).\neven(T+2) :-\n    even(T).");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  const Rule& rule = unit->program.rules()[0];
+  EXPECT_EQ(rule.loc.line, 2);
+  EXPECT_EQ(rule.loc.column, 1);
+  EXPECT_EQ(rule.head.loc.line, 2);
+  ASSERT_EQ(rule.body.size(), 1u);
+  EXPECT_EQ(rule.body[0].loc.line, 3);
+  EXPECT_EQ(rule.body[0].loc.column, 5);
+}
+
+TEST(ParserTest, SourceUnitNamesAreRecorded) {
+  Parser parser;
+  ASSERT_TRUE(parser.AddSource("p(T+1, X) :- p(T, X).", "rules.tdd").ok());
+  ASSERT_TRUE(parser.AddSource("p(0, a).", "facts.tdd").ok());
+  auto unit = parser.Finish();
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  ASSERT_EQ(unit->program.source_units().size(), 2u);
+  EXPECT_EQ(unit->program.source_units()[0], "rules.tdd");
+  const Rule& rule = unit->program.rules()[0];
+  EXPECT_EQ(unit->program.SourceUnitName(rule.loc.unit), "rules.tdd");
+  EXPECT_EQ(unit->program.SourceUnitName(-1), "<input>");
+  EXPECT_EQ(unit->program.SourceUnitName(99), "<input>");
+}
+
 TEST(ParserTest, FinishTwiceFails) {
   Parser parser;
   ASSERT_TRUE(parser.AddSource("p(a).").ok());

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ast/parser.h"
@@ -197,7 +198,7 @@ TEST(SnapshotHashTest, HashIsInsertionOrderIndependent) {
       "tok(T+1, X) :- tok(T, X).");
   const Vocabulary& vocab = unit.program.vocab();
   std::vector<GroundAtom> facts;
-  for (const std::string& text :
+  for (std::string_view text :
        {"tok(5, a)", "tok(5, b)", "tok(5, c)", "tok(6, a)", "tok(6, b)"}) {
     auto atom = ParseGroundAtom(text, vocab);
     ASSERT_TRUE(atom.ok()) << atom.status();
@@ -232,7 +233,7 @@ TEST(SnapshotHashTest, SecondHashIsIndependentAndOrderInvariant) {
       "tok(T+1, X) :- tok(T, X).");
   const Vocabulary& vocab = unit.program.vocab();
   std::vector<GroundAtom> facts;
-  for (const std::string& text :
+  for (std::string_view text :
        {"tok(5, a)", "tok(5, b)", "tok(5, c)", "tok(6, a)", "tok(6, b)"}) {
     auto atom = ParseGroundAtom(text, vocab);
     ASSERT_TRUE(atom.ok()) << atom.status();
