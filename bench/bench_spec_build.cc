@@ -18,6 +18,7 @@
 #include "bench/bench_util.h"
 #include "eval/fixpoint.h"
 #include "spec/specification.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 #include "workload/generators.h"
@@ -112,8 +113,8 @@ void DumpSpecBuildMetrics(const char* path) {
     options.num_threads = threads;
     auto spec = BuildSpecification(unit.program, unit.database, options);
     if (!spec.ok()) {
-      std::fprintf(stderr, "metered spec build failed: %s\n",
-                   spec.status().ToString().c_str());
+      LogError("bench.metered_spec_build_failed")
+          .Str("status", spec.status().ToString());
     }
   };
 
@@ -142,8 +143,8 @@ void DumpSpecBuildMetrics(const char* path) {
     fp.trace = &trace;
     auto model = SemiNaiveFixpoint(unit.program, unit.database, fp);
     if (!model.ok()) {
-      std::fprintf(stderr, "metered parallel fixpoint failed: %s\n",
-                   model.status().ToString().c_str());
+      LogError("bench.metered_parallel_fixpoint_failed")
+          .Str("status", model.status().ToString());
     }
   }
 
@@ -152,8 +153,35 @@ void DumpSpecBuildMetrics(const char* path) {
       << ",\"metrics\":" << metrics.ToJson()
       << ",\"trace_events\":" << trace.size()
       << ",\"trace_dropped\":" << trace.dropped() << "}\n";
-  std::fprintf(stderr, "wrote metrics dump to %s (%zu trace events)\n", path,
-               trace.size());
+  LogInfo("bench.metrics_dump")
+      .Str("path", path)
+      .Uint("trace_events", trace.size());
+}
+
+// Chrome-trace pass behind $CHRONOLOG_TRACE_OUT: builds the largest
+// spec-build configuration in the suite (the full-year ski schedule at four
+// resorts) with a fresh TraceBuffer and writes the Perfetto-loadable export.
+// run_benches.sh stamps this next to the bench JSON as BENCH_PR5.trace.json.
+void DumpSpecBuildTrace(const char* path) {
+  MetricsRegistry metrics;
+  TraceBuffer trace;
+  ParsedUnit unit = bench::MustParse(workload::SkiScheduleSource(
+      /*resorts=*/4, /*year_len=*/365, /*winter_len=*/91, /*holidays=*/13));
+  PeriodDetectionOptions options;
+  options.metrics = &metrics;
+  options.trace = &trace;
+  auto spec = BuildSpecification(unit.program, unit.database, options);
+  if (!spec.ok()) {
+    LogError("bench.trace_spec_build_failed")
+        .Str("status", spec.status().ToString());
+    return;
+  }
+  std::ofstream out(path);
+  out << trace.ToChromeTraceJson();
+  LogInfo("bench.trace_dump")
+      .Str("path", path)
+      .Uint("trace_events", trace.size())
+      .Uint("trace_dropped", trace.dropped());
 }
 
 }  // namespace chronolog
@@ -165,6 +193,9 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (const char* path = std::getenv("CHRONOLOG_METRICS_OUT")) {
     chronolog::DumpSpecBuildMetrics(path);
+  }
+  if (const char* path = std::getenv("CHRONOLOG_TRACE_OUT")) {
+    chronolog::DumpSpecBuildTrace(path);
   }
   return 0;
 }

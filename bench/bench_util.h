@@ -1,12 +1,12 @@
 #ifndef CHRONOLOG_BENCH_BENCH_UTIL_H_
 #define CHRONOLOG_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
 
 #include "ast/parser.h"
+#include "util/log.h"
 
 namespace chronolog::bench {
 
@@ -14,8 +14,8 @@ namespace chronolog::bench {
 inline ParsedUnit MustParse(std::string_view src) {
   auto unit = Parser::Parse(src);
   if (!unit.ok()) {
-    std::fprintf(stderr, "bench setup parse failed: %s\n",
-                 unit.status().ToString().c_str());
+    LogError("bench.setup_parse_failed")
+        .Str("status", unit.status().ToString());
     std::abort();
   }
   return std::move(unit).value();

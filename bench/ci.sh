@@ -3,7 +3,9 @@
 # again with CHRONOLOG_NUM_THREADS=4 (parallel evaluator everywhere), the
 # chronolog-lint gate over every shipped example program, a clang-tidy pass
 # (skipped when the binary is absent), a metrics-liveness check of the
-# chronolog_obs instrumentation, an AddressSanitizer/UBSan build
+# chronolog_obs instrumentation, a chronolog-serve scrape gate (Prometheus
+# exposition + Chrome trace + clean SIGINT shutdown), an
+# AddressSanitizer/UBSan build
 # (CHRONOLOG_SANITIZE, see CMakeLists.txt) with a full ctest run, and a
 # ThreadSanitizer build running the concurrency-heavy suites with
 # CHRONOLOG_NUM_THREADS=4.
@@ -94,6 +96,94 @@ print(f"metrics liveness: {len(histograms)} histograms, all non-empty "
       f"(hardware_concurrency={dump['hardware_concurrency']})")
 PY
 
+# chronolog-serve gate: start the server on an ephemeral port against the
+# non-progressive token-ring fixture (its spec build routes through the
+# doubling detector + semi-naive fixpoint, so the fixpoint.* family is
+# live) with a warm-up query (query.* family), scrape /healthz + /metrics +
+# /trace, validate the Prometheus exposition (well-formed lines, TYPE
+# declarations, monotone cumulative buckets, required families), then
+# SIGINT and require a clean exit.
+echo "== serve gate (chronolog-serve scrape) =="
+SERVE="$BUILD_DIR/tools/chronolog-serve"
+SERVE_PORT_FILE="$BUILD_DIR/serve_port"
+rm -f "$SERVE_PORT_FILE"
+"$SERVE" --port=0 --port-file="$SERVE_PORT_FILE" \
+  --query='exists T (tok(T, a0))' \
+  tests/data/token_ring.tdl >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SERVE_PORT_FILE" ]] && break
+  sleep 0.1
+done
+if [[ ! -s "$SERVE_PORT_FILE" ]]; then
+  echo "serve gate: port file never appeared" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+python3 - "$(cat "$SERVE_PORT_FILE")" <<'PY'
+import json
+import re
+import sys
+import urllib.request
+
+port = sys.argv[1]
+
+
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+        return resp.read().decode()
+
+
+health = json.loads(get("/healthz"))
+assert health["status"] == "ok", health
+
+text = get("/metrics")
+metric_line = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9.e+-]*$')
+types = {}
+buckets = {}  # family -> list of (le, cumulative_count)
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        types[name] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    if not metric_line.match(line):
+        sys.exit(f"serve gate: malformed exposition line: {line!r}")
+    name, value = line.split(" ")
+    m = re.match(r'^(.*)_bucket\{le="([^"]+)"\}$', name)
+    if m:
+        buckets.setdefault(m.group(1), []).append(
+            (float("inf") if m.group(2) == "+Inf" else float(m.group(2)),
+             float(value)))
+for family, rows in buckets.items():
+    assert types.get(family) == "histogram", f"{family}: no histogram TYPE"
+    les = [le for le, _ in rows]
+    counts = [c for _, c in rows]
+    assert les == sorted(les), f"{family}: le values not sorted"
+    assert les[-1] == float("inf"), f"{family}: missing +Inf bucket"
+    assert counts == sorted(counts), f"{family}: non-monotone buckets"
+for family in ("query_evaluations", "query_latency_ns", "fixpoint_rounds",
+               "fixpoint_round_derive_ns"):
+    hit = [n for n in types if n == family]
+    assert hit, f"serve gate: required family {family} missing"
+assert float(
+    [l for l in text.splitlines() if l.startswith("query_evaluations ")][0]
+    .split(" ")[1]) >= 1, "query.* family empty despite warm-up query"
+
+trace = json.loads(get("/trace"))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], \
+    "serve gate: /trace returned no events"
+
+print(f"serve gate: {len(types)} families scraped, "
+      f"{len(buckets)} histograms monotone, "
+      f"{len(trace['traceEvents'])} trace events")
+PY
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"  # non-zero exit (unclean shutdown) fails the gate via set -e
+echo "serve gate: ok"
+
 echo "== sanitizer build + tests ($SAN_BUILD_DIR) =="
 cmake -B "$SAN_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -114,6 +204,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 CHRONOLOG_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint'
+  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log'
 
 echo "ci.sh: all checks passed"

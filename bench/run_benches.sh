@@ -12,10 +12,11 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR${BENCH_PR:-3}.json}"
+OUT="${2:-BENCH_PR${BENCH_PR:-5}.json}"
 REPS="${BENCH_REPETITIONS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+GIT_COMMIT="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
 for bench in bench_spec_build bench_bt_scaling; do
   bin="$BUILD_DIR/bench/$bench"
@@ -28,11 +29,15 @@ for bench in bench_spec_build bench_bt_scaling; do
   # timing runs it re-runs representative workloads with a chronolog_obs
   # registry attached and dumps the per-phase histograms + parallel
   # imbalance gauges, which get merged into the output below.
-  metrics_env=""
+  # bench_spec_build also honours CHRONOLOG_TRACE_OUT: a Chrome trace of
+  # the largest spec-build configuration, copied next to the output JSON so
+  # perf regressions come with an openable Perfetto timeline.
+  metrics_env=()
   if [[ "$bench" == bench_spec_build ]]; then
-    metrics_env="CHRONOLOG_METRICS_OUT=$TMP/spec_metrics.json"
+    metrics_env=("CHRONOLOG_METRICS_OUT=$TMP/spec_metrics.json"
+                 "CHRONOLOG_TRACE_OUT=$TMP/spec_trace.json")
   fi
-  env $metrics_env "$bin" \
+  env "${metrics_env[@]}" "$bin" \
     --benchmark_repetitions="$REPS" \
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json \
@@ -40,15 +45,22 @@ for bench in bench_spec_build bench_bt_scaling; do
     --benchmark_out_format=json >/dev/null
 done
 
-python3 - "$TMP" "$OUT" <<'PY'
+if [[ -s "$TMP/spec_trace.json" ]]; then
+  TRACE_OUT="${OUT%.json}.trace.json"
+  cp "$TMP/spec_trace.json" "$TRACE_OUT"
+  echo "wrote $TRACE_OUT (Chrome trace of the largest spec build)"
+fi
+
+python3 - "$TMP" "$OUT" "$GIT_COMMIT" <<'PY'
 import json
 import os
 import sys
 
-tmp_dir, out_path = sys.argv[1], sys.argv[2]
+tmp_dir, out_path, git_commit = sys.argv[1], sys.argv[2], sys.argv[3]
 # Host context matters for the threaded variants: on a single-CPU host they
-# report sequential time plus pool overhead, not a speedup.
-records = {"_host": {"cpus": os.cpu_count()}}
+# report sequential time plus pool overhead, not a speedup. The commit hash
+# ties the snapshot to the exact tree it measured.
+records = {"_host": {"cpus": os.cpu_count(), "git_commit": git_commit}}
 
 # chronolog_obs dump from the metered spec-build pass: the header records
 # std::thread::hardware_concurrency() as the engine saw it, and "_metrics"

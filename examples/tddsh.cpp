@@ -10,13 +10,20 @@
 //   p(T+1) :- p(T).              adds a rule
 //   ?- plane(7, hunter).         ground yes-no query
 //   ?- exists T (plane(T, X)).   first-order query (free vars enumerated)
-//   :describe                    classification, period, spec sizes
-//   :spec                        prints the relational specification (T,B,W)
-//   :explain plane(7, hunter)    renders a derivation (proof tree)
-//   :save out.spec               serialises the compiled specification
-//   :timeline plane              populated snapshots of one predicate
-//   :unfold 20 plane(T, X)       concrete answers up to time 20
-//   :quit                        exit
+//   .describe                    classification, period, spec sizes
+//   .spec                        prints the relational specification (T,B,W)
+//   .explain plane(7, hunter)    renders a derivation (proof tree)
+//   .save out.spec               serialises the compiled specification
+//   .timeline plane              populated snapshots of one predicate
+//   .unfold 20 plane(T, X)       concrete answers up to time 20
+//   .metrics [json]              chronolog_obs dump (Prometheus text / JSON)
+//   .trace out.json              Chrome trace export (open in Perfetto)
+//   .quit                        exit
+//
+// Dot-commands also accept the historical ":" prefix (`:describe` etc.).
+// The engine is built with EngineOptions::collect_metrics, so `.metrics`
+// and `.trace` always have the current session's instruments — see
+// docs/OBSERVABILITY.md for the catalog.
 //
 // Demonstrates incremental use of the public API: sources accumulate and
 // the engine (with its cached specification) is rebuilt on change.
@@ -33,12 +40,15 @@
 #include "query/answers.h"
 #include "spec/serialize.h"
 #include "spec/specification.h"
+#include "util/log.h"
 
 namespace {
 
 using chronolog::TemporalDatabase;
 
-/// Rebuilds the engine from the accumulated sources.
+/// Rebuilds the engine from the accumulated sources. Every REPL engine
+/// carries the chronolog_obs sinks so `.metrics` / `.trace` always reflect
+/// the current session.
 chronolog::Result<TemporalDatabase> Rebuild(
     const std::vector<std::string>& sources) {
   std::string all;
@@ -46,7 +56,9 @@ chronolog::Result<TemporalDatabase> Rebuild(
     all += s;
     all += "\n";
   }
-  return TemporalDatabase::FromSource(all);
+  chronolog::EngineOptions options;
+  options.collect_metrics = true;
+  return TemporalDatabase::FromSource(all, options);
 }
 
 void RunQuery(TemporalDatabase& tdd, const std::string& text) {
@@ -66,7 +78,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::ifstream file(argv[i]);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      chronolog::LogError("tddsh.open_failed").Str("path", argv[i]);
       return 1;
     }
     std::stringstream buffer;
@@ -76,11 +88,11 @@ int main(int argc, char** argv) {
 
   auto engine = Rebuild(sources);
   if (!engine.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 engine.status().ToString().c_str());
+    chronolog::LogError("tddsh.load_failed")
+        .Str("status", engine.status().ToString());
     return 1;
   }
-  std::printf("chronolog tddsh — %zu file(s) loaded. :quit to exit.\n",
+  std::printf("chronolog tddsh — %zu file(s) loaded. .quit to exit.\n",
               sources.size());
 
   std::string line;
@@ -96,7 +108,40 @@ int main(int argc, char** argv) {
     if (start == std::string::npos) continue;
     line = line.substr(start);
 
+    // Dot-commands; the historical ":" prefix stays accepted.
+    if (line[0] == '.') line[0] = ':';
+
     if (line == ":quit" || line == ":q") break;
+    if (line.rfind(":metrics", 0) == 0) {
+      std::string arg = line.substr(8);
+      if (arg == " json") {
+        std::printf("%s\n", engine->MetricsJson().c_str());
+      } else if (arg.empty()) {
+        std::printf("%s", engine->metrics() != nullptr
+                              ? engine->metrics()->ToPrometheusText().c_str()
+                              : "(metrics collection is off)\n");
+      } else {
+        std::printf("usage: .metrics [json]\n");
+      }
+      continue;
+    }
+    if (line.rfind(":trace ", 0) == 0) {
+      std::string path = line.substr(7);
+      if (engine->trace() == nullptr) {
+        std::printf("error: trace collection is off\n");
+        continue;
+      }
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("error: cannot open %s\n", path.c_str());
+        continue;
+      }
+      out << engine->trace()->ToChromeTraceJson();
+      std::printf("wrote %s (%zu spans, %llu dropped) — open in Perfetto\n",
+                  path.c_str(), engine->trace()->size(),
+                  static_cast<unsigned long long>(engine->trace()->dropped()));
+      continue;
+    }
     if (line == ":describe" || line == ":d") {
       std::printf("%s", engine->Describe().c_str());
       continue;

@@ -1,14 +1,27 @@
 #include "core/engine.h"
 
+#include <chrono>
+
 #include "ast/printer.h"
 #include "eval/provenance.h"
 
 namespace chronolog {
 
+namespace {
+
+/// Engine log events honour the per-engine override before the global
+/// threshold (structured logging, src/util/log.h).
+LogEvent EngineLog(LogLevel level, std::string_view event,
+                   const EngineOptions& options) {
+  return LogEvent(level, event, options.log_level.value_or(GlobalLogLevel()));
+}
+
+}  // namespace
+
 Result<TemporalDatabase> TemporalDatabase::ApplyLintLevel(
     TemporalDatabase tdd) {
   if (tdd.options_.lint_level == EngineOptions::LintLevel::kOff) {
-    return std::move(tdd);
+    return tdd;
   }
   LintResult lint = LintProgram(tdd.unit_.program, tdd.unit_.database,
                                 tdd.options_.lint);
@@ -20,10 +33,19 @@ Result<TemporalDatabase> TemporalDatabase::ApplyLintLevel(
         message += "\n  " + diag.ToString();
       }
     }
+    EngineLog(LogLevel::kError, "engine.lint_reject", tdd.options_)
+        .Uint("errors", lint.CountSeverity(Severity::kError))
+        .Uint("warnings", lint.CountSeverity(Severity::kWarning));
     return InvalidArgumentError(message);
   }
+  if (!lint.diagnostics.empty()) {
+    EngineLog(LogLevel::kWarn, "engine.lint", tdd.options_)
+        .Uint("errors", lint.CountSeverity(Severity::kError))
+        .Uint("warnings", lint.CountSeverity(Severity::kWarning))
+        .Uint("diagnostics", lint.diagnostics.size());
+  }
   tdd.lint_ = std::move(lint);
-  return std::move(tdd);
+  return tdd;
 }
 
 Result<TemporalDatabase> TemporalDatabase::FromSource(std::string_view source,
@@ -56,11 +78,26 @@ Result<InflationaryReport> TemporalDatabase::inflationary() {
 
 Result<const RelationalSpecification*> TemporalDatabase::specification() {
   if (!spec_.has_value()) {
-    CHRONOLOG_ASSIGN_OR_RETURN(
-        RelationalSpecification spec,
-        BuildSpecification(unit_.program, unit_.database, options_.period,
-                           &spec_info_));
-    spec_ = std::move(spec);
+    const auto start = std::chrono::steady_clock::now();
+    Result<RelationalSpecification> spec = BuildSpecification(
+        unit_.program, unit_.database, options_.period, &spec_info_);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (!spec.ok()) {
+      EngineLog(LogLevel::kError, "engine.spec_build_failed", options_)
+          .Str("status", spec.status().ToString())
+          .Num("wall_ms", wall_ms);
+      return spec.status();
+    }
+    EngineLog(LogLevel::kInfo, "engine.spec_build", options_)
+        .Int("period_b", spec->period().b)
+        .Int("period_p", spec->period().p)
+        .Int("representatives", spec->num_representatives())
+        .Uint("primary_facts", spec->SizeInFacts())
+        .Bool("exact_period", spec_info_.exact_period)
+        .Num("wall_ms", wall_ms);
+    spec_ = std::move(spec).value();
   }
   return &*spec_;
 }
@@ -70,6 +107,7 @@ Result<bool> TemporalDatabase::Ask(std::string_view ground_atom) {
                              ParseGroundAtom(ground_atom, vocab()));
   CHRONOLOG_ASSIGN_OR_RETURN(const RelationalSpecification* spec,
                              specification());
+  if (metrics_ != nullptr) metrics_->counter("query.asks")->Add();
   return spec->Ask(atom);
 }
 
@@ -101,7 +139,10 @@ Result<QueryAnswer> TemporalDatabase::Query(std::string_view query_text) {
                              ParseQuery(query_text, vocab()));
   CHRONOLOG_ASSIGN_OR_RETURN(const RelationalSpecification* spec,
                              specification());
-  return EvaluateQueryOverSpec(parsed, *spec);
+  QueryEvalOptions eval_options;
+  eval_options.metrics = metrics_.get();
+  eval_options.trace = trace_.get();
+  return EvaluateQueryOverSpec(parsed, *spec, eval_options);
 }
 
 Result<std::string> TemporalDatabase::Explain(std::string_view ground_atom) {

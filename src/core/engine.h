@@ -15,6 +15,7 @@
 #include "query/query_eval.h"
 #include "query/query_parser.h"
 #include "spec/specification.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/result.h"
 #include "util/trace.h"
@@ -50,6 +51,11 @@ struct EngineOptions {
   /// null-pointer branch per site (benchmarked < 2% on the spec-build
   /// suite, see DESIGN.md).
   bool collect_metrics = false;
+  /// Threshold for this engine's structured log events (src/util/log.h,
+  /// JSON lines: lint summaries, specification-build outcomes). Unset
+  /// inherits the process-wide level — $CHRONOLOG_LOG_LEVEL, default warn —
+  /// so engines stay quiet in tests and noisy only when asked.
+  std::optional<LogLevel> log_level;
 };
 
 /// The top-level facade of chronolog: one temporal deductive database

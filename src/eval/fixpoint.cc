@@ -307,6 +307,23 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
                                const Interpretation& interp,
                                const FixpointOptions& options,
                                EvalStats* stats) {
+  // chronolog_obs: the naive path shares the phase-span / insert-counter
+  // sites of the semi-naive evaluator — one span per Tp application, one
+  // histogram sample for its wall time, and a counter of the facts each
+  // application adds over its input.
+  Counter* applications = nullptr;
+  Histogram* apply_hist = nullptr;
+  Counter* inserted_counter = nullptr;
+  if (options.metrics != nullptr) {
+    applications = options.metrics->counter("fixpoint.naive.applications");
+    apply_hist = options.metrics->histogram("fixpoint.naive.apply_ns");
+    inserted_counter = options.metrics->counter("fixpoint.naive.inserted");
+  }
+  if (applications != nullptr) applications->Add();
+  TraceSpan span(options.trace, "fixpoint.apply_tp");
+  PhaseTimer apply_timer(apply_hist != nullptr, nullptr, apply_hist);
+  uint64_t new_facts = 0;
+
   Interpretation out(program.vocab_ptr());
   const Vocabulary& vocab = program.vocab();
   bool overflow = false;
@@ -315,6 +332,7 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
   // NaiveFixpoint's per-pass contributions sum to the semi-naive totals
   // (the contract the incremental period tracker depends on).
   auto count_if_new = [&](PredicateId pred, int64_t time) {
+    ++new_facts;
     if (stats == nullptr) return;
     ++stats->inserted;
     if (vocab.predicate(pred).is_temporal) {
@@ -344,6 +362,7 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
                        });
     if (overflow) return TooLarge(options.max_facts);
   }
+  if (inserted_counter != nullptr) inserted_counter->Add(new_facts);
   return out;
 }
 
@@ -352,6 +371,12 @@ Result<Interpretation> NaiveFixpoint(const Program& program,
                                      const FixpointOptions& options,
                                      EvalStats* stats) {
   TraceSpan span(options.trace, "fixpoint.naive");
+  // Pass counter of the naive loop — the analogue of `fixpoint.rounds` on
+  // the semi-naive path (kept as a separate name so the two evaluators
+  // stay distinguishable in one registry).
+  Counter* passes = options.metrics != nullptr
+                        ? options.metrics->counter("fixpoint.naive.passes")
+                        : nullptr;
   const Vocabulary& vocab = program.vocab();
   Interpretation current(program.vocab_ptr());
   // Database seeds are counted here: from the first pass on, ApplyTp sees
@@ -367,6 +392,7 @@ Result<Interpretation> NaiveFixpoint(const Program& program,
   }
   while (true) {
     if (stats != nullptr) ++stats->iterations;
+    if (passes != nullptr) passes->Add();
     CHRONOLOG_ASSIGN_OR_RETURN(Interpretation next,
                                ApplyTp(program, db, current, options, stats));
     if (next.SegmentEquals(current, options.max_time,

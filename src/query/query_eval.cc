@@ -4,6 +4,9 @@
 #include <functional>
 #include <set>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace chronolog {
 
 namespace {
@@ -204,18 +207,54 @@ std::string QueryAnswer::ToString(const Vocabulary& vocab) const {
 }
 
 Result<QueryAnswer> EvaluateQueryOverSpec(
-    const Query& query, const RelationalSpecification& spec) {
+    const Query& query, const RelationalSpecification& spec,
+    const QueryEvalOptions& options) {
+  // Instruments are fetched at entry (chronolog_obs convention: an
+  // instrument still empty after a metered run flags dead instrumentation).
+  Counter* evaluations = nullptr;
+  Histogram* latency_hist = nullptr;
+  Histogram* answers_hist = nullptr;
+  Counter* lookups = nullptr;
+  Counter* rewrite_steps = nullptr;
+  if (options.metrics != nullptr) {
+    evaluations = options.metrics->counter("query.evaluations");
+    latency_hist = options.metrics->histogram("query.latency_ns");
+    answers_hist = options.metrics->histogram("query.answers");
+    lookups = options.metrics->counter("query.oracle_lookups");
+    rewrite_steps = options.metrics->counter("query.rewrite_steps");
+  }
+  if (evaluations != nullptr) evaluations->Add();
+  TraceSpan span(options.trace, "query.eval");
+  PhaseTimer latency_timer(latency_hist != nullptr, nullptr, latency_hist);
+
   std::vector<int64_t> temporal_domain;
   temporal_domain.reserve(static_cast<std::size_t>(spec.num_representatives()));
   for (int64_t t = 0; t < spec.num_representatives(); ++t) {
     temporal_domain.push_back(t);
   }
-  Evaluator evaluator(
-      query, [&spec](const GroundAtom& atom) { return spec.Ask(atom); },
-      std::move(temporal_domain), ActiveConstants(query, spec.primary()),
-      /*allow_equality=*/false);
-  return Run(query, std::move(evaluator), spec.rewrite_lhs(),
-             spec.period().p);
+  auto oracle = [&spec, lookups, rewrite_steps](const GroundAtom& atom) {
+    if (lookups != nullptr) lookups->Add();
+    if (rewrite_steps != nullptr &&
+        spec.primary().vocab().predicate(atom.pred).is_temporal &&
+        atom.time >= spec.rewrite_lhs()) {
+      // Number of `lhs -> lhs - p` applications Canonicalize folds to bring
+      // `t` below the rewrite threshold.
+      rewrite_steps->Add(static_cast<uint64_t>(
+          (atom.time - spec.rewrite_lhs()) / spec.period().p + 1));
+    }
+    return spec.Ask(atom);
+  };
+  Evaluator evaluator(query, oracle, std::move(temporal_domain),
+                      ActiveConstants(query, spec.primary()),
+                      /*allow_equality=*/false);
+  Result<QueryAnswer> answer = Run(query, std::move(evaluator),
+                                   spec.rewrite_lhs(), spec.period().p);
+  if (answers_hist != nullptr && answer.ok()) {
+    answers_hist->RecordValue(answer->free_var_names.empty()
+                                  ? (answer->boolean ? 1 : 0)
+                                  : answer->rows.size());
+  }
+  return answer;
 }
 
 Result<QueryAnswer> EvaluateQueryOverModel(const Query& query,

@@ -11,6 +11,24 @@
 
 namespace chronolog {
 
+class MetricsRegistry;
+class TraceBuffer;
+
+/// Observability sinks for query evaluation (chronolog_obs; both nullable,
+/// wired by the engine when `EngineOptions::collect_metrics` is set).
+/// Instruments live under the `query.*` family:
+///
+///   query.evaluations   counter    evaluations started
+///   query.latency_ns    histogram  wall time per evaluation
+///   query.answers       histogram  rows per open query (0/1 for closed)
+///   query.oracle_lookups counter   ground-atom lookups against `B`
+///   query.rewrite_steps counter    W-rule applications folded by
+///                                  canonicalisation during those lookups
+struct QueryEvalOptions {
+  MetricsRegistry* metrics = nullptr;
+  TraceBuffer* trace = nullptr;
+};
+
 /// One value of a query answer: a ground temporal term (representative) or a
 /// database constant.
 struct QueryValue {
@@ -50,8 +68,9 @@ struct QueryAnswer {
 /// representative terms `T`, non-temporal ones over the active constants of
 /// `B` plus the query's own constants; atoms are canonicalised by `W` and
 /// looked up in `B`; negation is closed-world.
-Result<QueryAnswer> EvaluateQueryOverSpec(const Query& query,
-                                          const RelationalSpecification& spec);
+Result<QueryAnswer> EvaluateQueryOverSpec(
+    const Query& query, const RelationalSpecification& spec,
+    const QueryEvalOptions& options = {});
 
 /// Reference evaluator over an explicitly materialised segment of the least
 /// model: temporal quantifiers range over `[0...temporal_horizon]`. Used to

@@ -1,0 +1,239 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace chronolog {
+
+namespace {
+
+/// Poll interval of the accept loops: the latency bound on Stop().
+constexpr int kAcceptPollMs = 100;
+
+/// Request read cap. The server only understands header-only GETs; anything
+/// larger is a client error (or abuse), not a request to buffer.
+constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    default:
+      return "Error";
+  }
+}
+
+void WriteAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, const HttpResponse& response,
+                   bool head_only = false) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  WriteAll(fd, head);
+  if (!head_only) WriteAll(fd, response.body);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, HttpHandler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("HttpServer::Start: already running");
+  }
+  shutdown_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InvalidArgumentError("invalid bind address: " +
+                                options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string message = std::string("bind ") + options_.bind_address +
+                                ":" + std::to_string(options_.port) + ": " +
+                                std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError(message);
+  }
+  if (::listen(listen_fd_, /*backlog=*/64) < 0) {
+    const std::string message = std::string("listen: ") +
+                                std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError(message);
+  }
+  // Non-blocking listener: several workers poll the same fd, and when a
+  // connection wakes more than one of them only the first accept() wins —
+  // the losers must get EAGAIN back instead of blocking (and going blind to
+  // shutdown_) until the next connection.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  // The pool runs one accept loop per worker index; ParallelFor's barrier
+  // only releases once every loop has observed shutdown_, so joining the
+  // serve thread is all Stop() needs to wait for.
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  serve_thread_ = std::thread([this] {
+    pool_->ParallelFor(static_cast<std::size_t>(options_.num_workers),
+                       [this](std::size_t) { AcceptLoop(); });
+  });
+  LogInfo("serve.start")
+      .Str("bind", options_.bind_address)
+      .Int("port", port_)
+      .Int("workers", options_.num_workers);
+  return Status();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  shutdown_.store(true, std::memory_order_release);
+  if (serve_thread_.joinable()) serve_thread_.join();
+  pool_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  LogInfo("serve.stop")
+      .Int("port", port_)
+      .Uint("requests", requests_served());
+}
+
+void HttpServer::AcceptLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check shutdown
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;  // racing worker won the connection
+    ServeConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  timeval timeout{};
+  timeout.tv_sec = options_.read_timeout_ms / 1000;
+  timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the header block; GETs have no body to consume.
+  std::string request;
+  char buf[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    WriteResponse(client_fd, {408, "text/plain; charset=utf-8",
+                              "request timeout or malformed request line\n"});
+    return;
+  }
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    WriteResponse(client_fd, {400, "text/plain; charset=utf-8",
+                              "malformed request line\n"});
+    return;
+  }
+  HttpRequest parsed;
+  parsed.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    parsed.path = std::move(target);
+  } else {
+    parsed.path = target.substr(0, qmark);
+    parsed.query = target.substr(qmark + 1);
+  }
+
+  if (parsed.method != "GET" && parsed.method != "HEAD") {
+    WriteResponse(client_fd, {405, "text/plain; charset=utf-8",
+                              "only GET is supported\n"});
+    return;
+  }
+  const auto it = routes_.find(parsed.path);
+  if (it == routes_.end()) {
+    std::string known = "not found; routes:";
+    for (const auto& [path, handler] : routes_) known += " " + path;
+    WriteResponse(client_fd,
+                  {404, "text/plain; charset=utf-8", known + "\n"});
+    return;
+  }
+  const HttpResponse response = it->second(parsed);
+  WriteResponse(client_fd, response, /*head_only=*/parsed.method == "HEAD");
+}
+
+}  // namespace chronolog

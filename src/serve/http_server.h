@@ -1,0 +1,108 @@
+#ifndef CHRONOLOG_SERVE_HTTP_SERVER_H_
+#define CHRONOLOG_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace chronolog {
+
+class ThreadPool;
+
+/// chronolog_serve — a minimal blocking HTTP/1.1 server for the
+/// observability endpoints (`/metrics`, `/healthz`, `/trace`). Scope is
+/// deliberately narrow: GET-only, `Connection: close` per request, loopback
+/// by default, no TLS, no third-party dependencies — enough for a
+/// Prometheus scraper, `curl`, or a health-checking supervisor, and nothing
+/// an internet-facing proxy should be pointed at directly.
+///
+/// Concurrency model: `Start()` binds and listens, then hands a bounded
+/// worker pool (`src/util/thread_pool.*`) one long-running accept loop per
+/// worker — `accept(2)` on a shared listening socket is thread-safe, so the
+/// workers form a classic pre-threaded server. Each worker polls the
+/// listening fd with a short timeout between accepts, which is what lets
+/// `Stop()` terminate the loops without relying on platform-specific
+/// `shutdown(2)`-on-listener semantics.
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string path;    // decoded-enough: the raw path, query string split off
+  std::string query;   // text after '?', if any (not parsed further)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler for one route. Invoked concurrently from worker threads — must
+/// be thread-safe.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  /// Port to bind; 0 picks an ephemeral port (read it back via `port()`).
+  int port = 0;
+  /// Bind address. The default stays on loopback; pass "0.0.0.0" to expose
+  /// the endpoints beyond the host.
+  std::string bind_address = "127.0.0.1";
+  /// Concurrent request workers (each runs one blocking accept loop).
+  int num_workers = 2;
+  /// Per-connection socket receive timeout while reading the request.
+  int read_timeout_ms = 5000;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Must be called before
+  /// Start(); routes are immutable while serving.
+  void Handle(std::string path, HttpHandler handler);
+
+  /// Binds, listens and spawns the worker pool. Fails with
+  /// kUnavailable when the socket cannot be bound.
+  Status Start();
+
+  /// Stops the accept loops, joins the workers and closes the socket.
+  /// Idempotent; also invoked by the destructor.
+  void Stop();
+
+  /// The bound port (the chosen one when options.port == 0); 0 before
+  /// Start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests served since Start (200s and error responses alike).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  HttpServerOptions options_;
+  std::map<std::string, HttpHandler> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread serve_thread_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_SERVE_HTTP_SERVER_H_

@@ -1,0 +1,39 @@
+#include "serve/obs_endpoints.h"
+
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace chronolog {
+
+void RegisterObservabilityEndpoints(HttpServer& server,
+                                    const MetricsRegistry* metrics,
+                                    const TraceBuffer* trace,
+                                    std::string service) {
+  server.Handle("/metrics", [metrics](const HttpRequest&) {
+    HttpResponse response;
+    // The content type Prometheus scrapers negotiate for text format.
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (metrics != nullptr) response.body = metrics->ToPrometheusText();
+    return response;
+  });
+  server.Handle("/healthz", [&server, service](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = "{\"status\":\"ok\",\"service\":\"" +
+                    JsonEscape(service) + "\",\"requests\":" +
+                    std::to_string(server.requests_served()) + "}\n";
+    return response;
+  });
+  server.Handle("/trace", [trace](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = trace != nullptr
+                        ? trace->ToChromeTraceJson()
+                        : "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+    return response;
+  });
+}
+
+}  // namespace chronolog

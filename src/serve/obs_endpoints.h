@@ -1,0 +1,35 @@
+#ifndef CHRONOLOG_SERVE_OBS_ENDPOINTS_H_
+#define CHRONOLOG_SERVE_OBS_ENDPOINTS_H_
+
+#include <string>
+
+#include "serve/http_server.h"
+
+namespace chronolog {
+
+class MetricsRegistry;
+class TraceBuffer;
+
+/// Registers the chronolog_serve observability routes on `server`:
+///
+///   GET /metrics — Prometheus text exposition of `metrics`
+///                  (`MetricsRegistry::ToPrometheusText`); 404-styled empty
+///                  exposition when metrics is null.
+///   GET /healthz — `{"status":"ok","requests":N,...}` JSON; always 200
+///                  while the server is running (liveness, not readiness).
+///   GET /trace   — Chrome trace-event JSON of `trace`
+///                  (`TraceBuffer::ToChromeTraceJson`), loadable in
+///                  Perfetto / chrome://tracing.
+///
+/// `metrics` and `trace` may be null (the corresponding endpoint then
+/// serves an empty document) but must outlive the server when set —
+/// typically both are owned by a `TemporalDatabase` built with
+/// `EngineOptions::collect_metrics`. `service` labels the health document.
+void RegisterObservabilityEndpoints(HttpServer& server,
+                                    const MetricsRegistry* metrics,
+                                    const TraceBuffer* trace,
+                                    std::string service = "chronolog");
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_SERVE_OBS_ENDPOINTS_H_

@@ -32,6 +32,26 @@ void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
   }
 }
 
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the dotted
+/// instrument paths map onto it by replacing every other character with '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendFamilyHeader(std::string& out, const std::string& prom_name,
+                        const std::string& dotted, const char* type) {
+  out += "# HELP " + prom_name + " chronolog instrument " + dotted + "\n";
+  out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
 }  // namespace
 
 void Gauge::Set(double value) {
@@ -174,6 +194,51 @@ std::string MetricsRegistry::ToJson() const {
     out += "]}";
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    AppendFamilyHeader(out, prom, name, "counter");
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    AppendFamilyHeader(out, prom, name, "gauge");
+    out += prom + " " + JsonNumber(gauge->last()) + "\n";
+    const std::pair<const char*, double> variants[] = {
+        {"_min", gauge->min()}, {"_max", gauge->max()}, {"_mean", gauge->mean()}};
+    for (const auto& [suffix, value] : variants) {
+      AppendFamilyHeader(out, prom + suffix, name, "gauge");
+      out += prom + suffix + " " + JsonNumber(value) + "\n";
+    }
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    AppendFamilyHeader(out, prom, name, "histogram");
+    // Cumulative buckets: bucket i holds values in [2^(i-1), 2^i), so the
+    // running sum through bucket i is the count of samples < 2^i — emitted
+    // under le="2^i" (instrument values are integers; only a sample exactly
+    // at a power of two could straddle the inclusive/exclusive boundary).
+    int highest = -1;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (hist->bucket(i) > 0) highest = i;
+    }
+    uint64_t cumulative = 0;
+    for (int i = 0; i <= highest; ++i) {
+      cumulative += hist->bucket(i);
+      const double le = i == 0 ? 0 : std::ldexp(1.0, i);
+      out += prom + "_bucket{le=\"" + JsonNumber(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist->count()) +
+           "\n";
+    out += prom + "_sum " + std::to_string(hist->sum()) + "\n";
+    out += prom + "_count " + std::to_string(hist->count()) + "\n";
+  }
   return out;
 }
 

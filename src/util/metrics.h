@@ -120,6 +120,22 @@ class MetricsRegistry {
   /// non-empty buckets, `le` being the bucket's exclusive upper bound.
   std::string ToJson() const;
 
+  /// Prometheus text exposition (format version 0.0.4), served by
+  /// `GET /metrics` (src/serve). Dotted instrument names are sanitised to
+  /// the metric-name charset (`.` -> `_`); every metric keeps a `# HELP`
+  /// line naming the original dotted instrument. Mapping:
+  ///
+  ///  * Counter    -> `counter` sample;
+  ///  * Gauge      -> `gauge` sample of the last value, plus `_min`/`_max`/
+  ///                  `_mean` gauge variants;
+  ///  * Histogram  -> `histogram` family: cumulative `_bucket{le="2^i"}`
+  ///                  samples (one per log2 bucket up to the highest
+  ///                  non-empty one, then `le="+Inf"`), `_sum` and `_count`.
+  ///
+  /// Deterministic (name-sorted), one trailing newline per line, so the
+  /// output diffs cleanly between scrapes.
+  std::string ToPrometheusText() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

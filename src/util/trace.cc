@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <thread>
+#include <unordered_map>
 
 namespace chronolog {
 
@@ -76,6 +77,33 @@ std::string TraceBuffer::ToJson() const {
            ",\"tid\":" + std::to_string(e.tid) + "}";
   }
   out += "],\"dropped\":" + std::to_string(dropped_) + "}";
+  return out;
+}
+
+std::string TraceBuffer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Dense thread ids in first-seen order: Perfetto renders one track per
+  // tid, and 64-bit hash values make unreadable track labels.
+  std::unordered_map<uint64_t, uint64_t> tids;
+  auto dense_tid = [&tids](uint64_t tid) {
+    return tids.emplace(tid, tids.size() + 1).first->second;
+  };
+  std::string out =
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" +
+      std::to_string(dropped_) + "},\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"chronolog\"}}";
+  for (const TraceEvent& e : events_) {
+    out += ",{\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"chronolog\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(dense_tid(e.tid)) +
+           ",\"ts\":" + std::to_string(e.start_us) +
+           ",\"dur\":" + std::to_string(e.dur_us) +
+           ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+  }
+  out += "]}";
   return out;
 }
 

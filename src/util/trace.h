@@ -59,6 +59,15 @@ class TraceBuffer {
   /// encloses them — the usual trace-log convention).
   std::string ToJson() const;
 
+  /// Chrome trace-event format: every span becomes a complete ("ph":"X")
+  /// event with `pid`/`tid`/`ts`/`dur` in microseconds, so the output opens
+  /// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Hashed
+  /// thread ids are remapped to small dense ints in first-seen order; the
+  /// span's nesting depth rides along in `args.depth`. A `process_name`
+  /// metadata event labels the single process, and `dropped` spans are
+  /// reported in the top-level `otherData` object.
+  std::string ToChromeTraceJson() const;
+
  private:
   const std::chrono::steady_clock::time_point epoch_;
   const std::size_t capacity_;

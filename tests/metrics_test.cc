@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +224,160 @@ TEST(EngineMetricsTest, CollectMetricsPopulatesDoublingInstruments) {
   EXPECT_GT(tdd->metrics()->counter("period.doublings")->value(), 0u);
   EXPECT_GT(tdd->metrics()->histogram("period.extend_ns")->count(), 0u);
   EXPECT_GT(tdd->metrics()->counter("fixpoint.rounds")->value(), 0u);
+}
+
+// --- PR 5 exporters -------------------------------------------------------
+
+// Every instrument kind must survive the Prometheus text round trip:
+// counters as `counter`, gauges as `gauge` (last value plus _min/_max/_mean
+// variants), histograms as cumulative `_bucket{le=...}` / `_sum` / `_count`.
+TEST(MetricsTest, PrometheusTextCoversAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("query.asks")->Add(3);
+  Gauge* g = registry.gauge("fixpoint.parallel.imbalance");
+  g->Set(2.0);
+  g->Set(4.0);
+  Histogram* h = registry.histogram("query.latency_ns");
+  h->RecordValue(0);  // bucket 0
+  h->RecordValue(3);  // bucket 2: [2, 4)
+  h->RecordValue(3);
+  const std::string text = registry.ToPrometheusText();
+
+  // Dotted names are sanitised; HELP lines keep the original spelling.
+  EXPECT_NE(text.find("# HELP query_asks chronolog instrument query.asks\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE query_asks counter\n"), std::string::npos);
+  EXPECT_NE(text.find("query_asks 3\n"), std::string::npos);
+
+  EXPECT_NE(text.find("# TYPE fixpoint_parallel_imbalance gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fixpoint_parallel_imbalance 4\n"), std::string::npos);
+  EXPECT_NE(text.find("fixpoint_parallel_imbalance_min 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fixpoint_parallel_imbalance_max 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fixpoint_parallel_imbalance_mean 3\n"),
+            std::string::npos);
+
+  EXPECT_NE(text.find("# TYPE query_latency_ns histogram\n"),
+            std::string::npos);
+  // Cumulative: 1 sample <= 0, still 1 below 2, all 3 below 4, +Inf = 3.
+  EXPECT_NE(text.find("query_latency_ns_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_bucket{le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_bucket{le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_count 3\n"), std::string::npos);
+
+  // Exposition hygiene: every non-comment line is `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':' || c == '{' || c == '}' || c == '=' || c == '"' ||
+                  c == '+' || c == '.' || c == '-')
+          << "bad exposition char in: " << line;
+    }
+    EXPECT_EQ(name.find('.'), std::string::npos)
+        << "unsanitised dot in metric name: " << line;
+  }
+}
+
+TEST(MetricsTest, PrometheusTextEmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToPrometheusText(), "");
+}
+
+// Chrome trace export: spans become "ph":"X" complete events whose ts/dur
+// keep parent spans containing their children.
+TEST(TraceTest, ChromeTraceJsonNestsContainedSpans) {
+  TraceBuffer buf;
+  {
+    TraceSpan outer(&buf, "outer");
+    TraceSpan inner(&buf, "inner");
+  }
+  const std::string json = buf.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process_name
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+
+  // Two complete events, both on the (dense-remapped) tid 1.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+
+  // Containment on the raw events the JSON was generated from: the inner
+  // span completed first and sits inside [start, start + dur] of the outer.
+  const std::vector<TraceEvent> events = buf.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+}
+
+TEST(TraceTest, ChromeTraceJsonEmptyBuffer) {
+  TraceBuffer buf;
+  const std::string json = buf.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+// Satellite (b): concurrent recorders against a bounded buffer. The suite
+// name matches the TSan ctest filter ('Parallel'), so this runs under
+// ThreadSanitizer in CI; the drop count must be exact, not approximate —
+// capacity admission and the dropped counter share one critical section.
+TEST(TraceBufferParallelTest, ConcurrentRecordersCountDropsExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPerThread = 200;
+  constexpr std::size_t kCapacity = 64;
+  TraceBuffer buf(kCapacity);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 2);
+  std::atomic<bool> stop{false};
+  // Concurrent readers: snapshots and exports must be safe mid-recording.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&buf, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)buf.events();
+        (void)buf.ToJson();
+        (void)buf.ToChromeTraceJson();
+      }
+    });
+  }
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&buf] {
+      for (std::size_t j = 0; j < kSpansPerThread; ++j) {
+        TraceSpan span(&buf, "parallel.span");
+      }
+    });
+  }
+  for (std::size_t i = 2; i < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[0].join();
+  threads[1].join();
+
+  EXPECT_EQ(buf.size(), kCapacity);
+  EXPECT_EQ(buf.dropped(), kThreads * kSpansPerThread - kCapacity);
 }
 
 TEST(EngineMetricsTest, MetricsOffByDefault) {

@@ -1,0 +1,219 @@
+// chronolog_serve: the minimal HTTP server, the observability endpoints,
+// and their integration with an engine's chronolog_obs sinks. The client
+// side is a raw blocking socket — the server is scraped exactly the way
+// Prometheus or curl would, with no test-only transport.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/http_server.h"
+#include "serve/obs_endpoints.h"
+
+namespace chronolog {
+namespace {
+
+/// Sends one raw HTTP request to 127.0.0.1:`port` and returns the full
+/// response (status line, headers, body). Empty string on connect failure.
+std::string RawRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+TEST(HttpServerTest, ServesRegisteredRouteOnEphemeralPort) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string response = Get(server.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 4"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\npong"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 1u);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(HttpServerTest, HandlerSeesQueryString) {
+  HttpServer server;
+  server.Handle("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.method + " " + request.path + " ?" + request.query;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/echo?a=1&b=2");
+  EXPECT_NE(response.find("GET /echo ?a=1&b=2"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, UnknownRouteIs404) {
+  HttpServer server;
+  server.Handle("/only", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(response.find("/only"), std::string::npos);  // lists routes
+  server.Stop();
+}
+
+TEST(HttpServerTest, NonGetIs405) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      RawRequest(server.port(), "POST /x HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, HeadGetsHeadersWithoutBody) {
+  HttpServer server;
+  server.Handle("/h", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "body-text";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      RawRequest(server.port(), "HEAD /h HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Content-Length reflects the GET body, but the body is not sent.
+  EXPECT_NE(response.find("Content-Length: 9"), std::string::npos);
+  EXPECT_EQ(response.find("body-text"), std::string::npos);
+  server.Stop();
+}
+
+// Matches the TSan ctest filter ('Parallel'): concurrent scrapers against
+// the worker pool.
+TEST(HttpServerParallelTest, ConcurrentClientsAllServed) {
+  HttpServerOptions options;
+  options.num_workers = 4;
+  HttpServer server(options);
+  std::atomic<uint64_t> hits{0};
+  server.Handle("/hit", [&hits](const HttpRequest&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 10;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_responses{0};
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&ok_responses, port = server.port()] {
+      for (int j = 0; j < kRequestsPerClient; ++j) {
+        const std::string response = Get(port, "/hit");
+        if (response.find("HTTP/1.1 200 OK") != std::string::npos) {
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(ok_responses.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(hits.load(), static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_GE(server.requests_served(),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+}
+
+TEST(ObsEndpointsTest, ServesEngineMetricsHealthAndTrace) {
+  EngineOptions options;
+  options.collect_metrics = true;
+  auto tdd = TemporalDatabase::FromSource(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )", options);
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  ASSERT_TRUE(tdd->specification().ok());
+  ASSERT_TRUE(tdd->Query("exists T (even(T))").ok());
+
+  HttpServer server;
+  RegisterObservabilityEndpoints(server, tdd->metrics(), tdd->trace(),
+                                 "serve-test");
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string health = Get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"service\":\"serve-test\""), std::string::npos);
+
+  const std::string metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE forward_timesteps counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE query_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("query_evaluations 1"), std::string::npos);
+
+  const std::string trace = Get(server.port(), "/trace");
+  EXPECT_NE(trace.find("application/json"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("query.eval"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(ObsEndpointsTest, NullSinksDegradeGracefully) {
+  HttpServer server;
+  RegisterObservabilityEndpoints(server, nullptr, nullptr);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::string trace = Get(server.port(), "/trace");
+  EXPECT_NE(trace.find("\"traceEvents\":[]"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -32,6 +32,7 @@
 
 #include "analysis/lint.h"
 #include "ast/parser.h"
+#include "util/log.h"
 
 namespace {
 
@@ -90,7 +91,7 @@ int main(int argc, char** argv) {
       PrintUsage();
       return kExitClean;
     } else if (arg[0] == '-' && arg[1] != '\0') {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      chronolog::LogError("lint.unknown_flag").Str("flag", arg);
       PrintUsage();
       return kExitUsage;
     } else {
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
   for (const std::string& path : inputs) {
     std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      chronolog::LogError("lint.open_failed").Str("path", path);
       return kExitUsage;
     }
     std::stringstream buffer;

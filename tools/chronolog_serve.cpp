@@ -1,0 +1,169 @@
+// chronolog-serve — loads a program, builds its relational specification,
+// and serves the chronolog_obs endpoints over HTTP until SIGINT/SIGTERM.
+//
+// Usage:
+//   chronolog-serve [flags] program.tdl
+//
+// Flags:
+//   --port=N        listen port (default 0 = kernel-assigned ephemeral port;
+//                   the chosen port is printed and optionally written to
+//                   --port-file so scripts can scrape without racing)
+//   --port-file=P   write the bound port (decimal, newline) to file P
+//   --query=Q       run first-order query Q once at startup (repeatable) so
+//                   the query.* instrument family is populated before the
+//                   first scrape
+//   --threads=N     engine worker threads (EngineOptions::num_threads)
+//   --workers=N     HTTP worker threads (default 2)
+//   --log-level=L   debug|info|warn|error|off (default: $CHRONOLOG_LOG_LEVEL)
+//
+// Endpoints (see docs/OBSERVABILITY.md):
+//   GET /metrics    Prometheus text exposition (version 0.0.4)
+//   GET /healthz    JSON liveness probe
+//   GET /trace      Chrome trace-event JSON (open in Perfetto)
+//
+// This is the scrape target for the bench/ci.sh serve gate: start with
+// --port=0 --port-file, poll the file, scrape, SIGINT, expect exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/http_server.h"
+#include "serve/obs_endpoints.h"
+#include "util/log.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+bool ParseIntFlag(const std::string& arg, const char* name, int* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::atoi(arg.c_str() + prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int threads = 1;
+  int workers = 2;
+  std::string port_file;
+  std::string program_path;
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseIntFlag(arg, "--port", &port) ||
+        ParseIntFlag(arg, "--threads", &threads) ||
+        ParseIntFlag(arg, "--workers", &workers)) {
+      continue;
+    }
+    if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
+      continue;
+    }
+    if (arg.rfind("--query=", 0) == 0) {
+      queries.push_back(arg.substr(8));
+      continue;
+    }
+    if (arg.rfind("--log-level=", 0) == 0) {
+      auto level = chronolog::ParseLogLevel(arg.substr(12));
+      if (!level.has_value()) {
+        chronolog::LogError("serve.bad_flag").Str("flag", arg);
+        return 2;
+      }
+      chronolog::SetGlobalLogLevel(*level);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      chronolog::LogError("serve.bad_flag").Str("flag", arg);
+      return 2;
+    }
+    program_path = arg;
+  }
+  if (program_path.empty()) {
+    std::fprintf(stderr, "usage: chronolog-serve [flags] program.tdl\n");
+    return 2;
+  }
+
+  std::ifstream file(program_path);
+  if (!file) {
+    chronolog::LogError("serve.open_failed").Str("path", program_path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  chronolog::EngineOptions options;
+  options.collect_metrics = true;
+  options.num_threads = threads;
+  auto tdd = chronolog::TemporalDatabase::FromSource(buffer.str(), options);
+  if (!tdd.ok()) {
+    chronolog::LogError("serve.load_failed")
+        .Str("path", program_path)
+        .Str("status", tdd.status().ToString());
+    return 1;
+  }
+  // Build the specification eagerly so fixpoint.* / spec.* instruments are
+  // populated before the first scrape.
+  auto spec = tdd->specification();
+  if (!spec.ok()) {
+    chronolog::LogError("serve.spec_failed")
+        .Str("status", spec.status().ToString());
+    return 1;
+  }
+  for (const std::string& q : queries) {
+    auto answer = tdd->Query(q);
+    if (!answer.ok()) {
+      chronolog::LogError("serve.query_failed")
+          .Str("query", q)
+          .Str("status", answer.status().ToString());
+      return 1;
+    }
+  }
+
+  chronolog::HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.num_workers = workers;
+  chronolog::HttpServer server(server_options);
+  chronolog::RegisterObservabilityEndpoints(server, tdd->metrics(),
+                                            tdd->trace(), "chronolog-serve");
+  auto started = server.Start();
+  if (!started.ok()) {
+    chronolog::LogError("serve.start_failed")
+        .Str("status", started.ToString());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) {
+      chronolog::LogError("serve.port_file_failed").Str("path", port_file);
+      server.Stop();
+      return 1;
+    }
+    out << server.port() << "\n";
+  }
+  std::printf("chronolog-serve: listening on 127.0.0.1:%d (%s)\n",
+              server.port(), program_path.c_str());
+  std::printf("  GET /metrics  GET /healthz  GET /trace — Ctrl-C to stop\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("chronolog-serve: stopped after %llu request(s)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
