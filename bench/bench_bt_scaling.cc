@@ -107,6 +107,35 @@ BENCHMARK(BM_BtSkiResorts)
     ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+// Selectivity-skew microbench for the join planner: `wide` has state.range(0)
+// rows of identical first column while `narrow` has one row. Source-order
+// joins enumerate every wide row per timestep (work grows linearly with the
+// fan-out); the selectivity-driven plan probes narrow first and keeps the
+// per-step work constant, so wall time should stay nearly flat across the
+// argument sweep. `match_steps` makes the enumerated work visible.
+void BM_BtSkewedJoin(benchmark::State& state) {
+  const int wide = static_cast<int>(state.range(0));
+  ParsedUnit unit = bench::MustParse(workload::SkewedJoinSource(wide));
+  auto query = ParseGroundAtom("hit(200, a)", unit.program.vocab());
+  if (!query.ok()) std::abort();
+  BtOptions options;
+  options.horizon = 200;
+  options.semi_naive = true;
+
+  uint64_t match_steps = 0;
+  for (auto _ : state) {
+    auto result = RunBt(unit.program, unit.database, *query, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    match_steps = result->stats.match_steps;
+    benchmark::DoNotOptimize(result->answer);
+  }
+  state.counters["facts_n"] = static_cast<double>(unit.database.size());
+  state.counters["match_steps"] = static_cast<double>(match_steps);
+}
+BENCHMARK(BM_BtSkewedJoin)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 // Query depth h enters the bound m = max(c, h) + range linearly: BT time
 // grows linearly in h (contrast with experiment E4's O(1) spec lookups).
 void BM_BtDepthLinear(benchmark::State& state) {

@@ -3,7 +3,9 @@
 # again with CHRONOLOG_NUM_THREADS=4 (parallel evaluator everywhere), the
 # chronolog-lint gate over every shipped example program, a clang-tidy pass
 # (skipped when the binary is absent), a metrics-liveness check of the
-# chronolog_obs instrumentation, a chronolog-serve scrape gate (Prometheus
+# chronolog_obs instrumentation, a perf smoke gate comparing two BT hot-path
+# benchmarks against the committed BENCH_PR6.json baseline, a chronolog-serve
+# scrape gate (Prometheus
 # exposition + Chrome trace + clean SIGINT shutdown), an
 # AddressSanitizer/UBSan build
 # (CHRONOLOG_SANITIZE, see CMakeLists.txt) with a full ctest run, and a
@@ -95,6 +97,59 @@ if empty:
 print(f"metrics liveness: {len(histograms)} histograms, all non-empty "
       f"(hardware_concurrency={dump['hardware_concurrency']})")
 PY
+
+# Perf smoke gate: two representative BT benchmarks (the even-chain depth
+# sweep and the random-graph path workload) against the committed
+# BENCH_PR6.json baseline. A median more than 10% above the baseline fails —
+# a cheap tripwire for accidental hot-path regressions, not a full bench run.
+# Set CHRONOLOG_SKIP_PERF_GATE=1 on hosts that are slower than the baseline
+# machine (the committed medians are host-specific).
+echo "== perf smoke gate (BT hot path vs BENCH_PR6.json) =="
+if [[ "${CHRONOLOG_SKIP_PERF_GATE:-0}" == 1 ]]; then
+  echo "perf gate: skipped (CHRONOLOG_SKIP_PERF_GATE=1)"
+else
+  "$BUILD_DIR/bench/bench_bt_scaling" \
+    --benchmark_filter='BM_BtDepthLinear/100000$|BM_BtPathRandomGraph/256$' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="$BUILD_DIR/perf_smoke.json" \
+    --benchmark_out_format=json >/dev/null
+  python3 - "$BUILD_DIR/perf_smoke.json" BENCH_PR6.json <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+with open(sys.argv[2]) as fh:
+    baseline = json.load(fh)
+
+failures = []
+checked = 0
+for bench in report["benchmarks"]:
+    if bench.get("aggregate_name") != "median":
+        continue
+    name = bench["run_name"]
+    base = baseline.get(name)
+    if base is None:
+        sys.exit(f"perf gate: {name} missing from committed baseline")
+    assert bench["time_unit"] == "ms", (name, bench["time_unit"])
+    measured = bench["real_time"]
+    allowed = base["median_wall_ms"] * 1.10
+    checked += 1
+    status = "ok" if measured <= allowed else "REGRESSION"
+    print(f"perf gate: {name}: {measured:.1f} ms "
+          f"(baseline {base['median_wall_ms']:.1f} ms, limit {allowed:.1f}) "
+          f"{status}")
+    if measured > allowed:
+        failures.append(name)
+if checked != 2:
+    sys.exit(f"perf gate: expected 2 medians, saw {checked}")
+if failures:
+    sys.exit("perf gate: regression in " + ", ".join(failures) +
+             " (CHRONOLOG_SKIP_PERF_GATE=1 to bypass on slower hosts)")
+PY
+fi
 
 # chronolog-serve gate: start the server on an ephemeral port against the
 # non-progressive token-ring fixture (its spec build routes through the
@@ -204,6 +259,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 CHRONOLOG_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log'
+  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log|Columnar|JoinPlan'
 
 echo "ci.sh: all checks passed"

@@ -26,7 +26,11 @@ struct BtOptions {
 
   /// Use the semi-naive fixpoint internally. Figure 1 iterates the full
   /// operator (naive); both produce the identical truncated least model.
-  bool semi_naive = false;
+  /// Defaults to semi-naive: the naive loop re-derives the whole model on
+  /// every pass and is retired from production use — it survives only as
+  /// the reference oracle the equivalence tests compare against (set this
+  /// to false to reach it).
+  bool semi_naive = true;
 
   uint64_t max_facts = 50'000'000;
 

@@ -112,7 +112,7 @@ Status RunSemiNaiveRounds(const Program& program,
   std::vector<RuleEvaluator> evaluators;
   evaluators.reserve(program.rules().size());
   for (const Rule& rule : program.rules()) {
-    evaluators.emplace_back(rule, vocab, options.use_index);
+    evaluators.emplace_back(rule, vocab, options.use_index, options.metrics);
   }
 
   // Derivable (IDB) predicates: heads of some rule.
@@ -217,6 +217,14 @@ Status RunSemiNaiveRounds(const Program& program,
       // transient memory). Against the shared total the round stops within
       // ~num_threads emissions of the cap.
       std::atomic<uint64_t> buffered_total{0};
+      // Build (or fetch) every task's join plan before fanning out: all
+      // shards of one (rule, pos) pair must run the same plan, and plan
+      // construction samples column statistics, which is single-threaded
+      // work (see RuleEvaluator::EnsurePlan).
+      for (const TaskPair& pair : pairs) {
+        evaluators[pair.rule].EnsurePlan(full, &delta, pair.pos,
+                                         /*time_bound=*/false);
+      }
       full.SetConcurrentProbes(true);
       delta.SetConcurrentProbes(true);
       {
@@ -345,7 +353,7 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
     if (out.Insert(f) && is_new) count_if_new(f.pred, f.time);
   }
   for (const Rule& rule : program.rules()) {
-    RuleEvaluator evaluator(rule, vocab, options.use_index);
+    RuleEvaluator evaluator(rule, vocab, options.use_index, options.metrics);
     evaluator.Evaluate(interp, /*delta=*/nullptr, /*delta_pos=*/-1,
                        /*time_binding=*/std::nullopt, stats,
                        [&](GroundAtom&& fact) {
@@ -472,7 +480,12 @@ Result<Interpretation> ExtendFixpoint(const Program& program,
     const auto& timeline = full.Timeline(pred);
     for (auto it = timeline.lower_bound(prior_max_time - g + 1);
          it != timeline.end(); ++it) {
-      for (const Tuple& tuple : it->second) delta.Insert(pred, it->first, tuple);
+      const Relation& cell = it->second;
+      Tuple scratch;
+      for (uint32_t row = 0; row < cell.size(); ++row) {
+        cell.CopyRow(row, &scratch);
+        delta.Insert(pred, it->first, scratch);
+      }
     }
   }
 
@@ -484,7 +497,7 @@ Result<Interpretation> ExtendFixpoint(const Program& program,
   for (const Rule& rule : program.rules()) {
     if (!rule.head.temporal() || !rule.head.time->ground()) continue;
     if (rule.head.time->offset <= prior_max_time) continue;
-    RuleEvaluator evaluator(rule, vocab, options.use_index);
+    RuleEvaluator evaluator(rule, vocab, options.use_index, options.metrics);
     evaluator.Evaluate(full, /*delta=*/nullptr, /*delta_pos=*/-1,
                        /*time_binding=*/std::nullopt, stats,
                        [&](GroundAtom&& fact) {

@@ -66,6 +66,12 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
 /// bt.h for the complete algorithm including the choice of `m`.
 /// Reports the same `inserted`/`min_new_time` totals as SemiNaiveFixpoint
 /// on the same program (each fact counted once, in its first pass).
+///
+/// Test-only reference oracle: nothing in production reaches this path any
+/// more (BtOptions defaults to semi-naive, and the engine never overrides
+/// it). It is kept because it is a direct transcription of Figure 1 — small
+/// enough to audit by eye — and the equivalence suites compare the
+/// semi-naive evaluator's models, stats, and snapshot hashes against it.
 Result<Interpretation> NaiveFixpoint(const Program& program,
                                      const Database& db,
                                      const FixpointOptions& options,

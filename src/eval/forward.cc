@@ -98,14 +98,19 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   }
 
   // Phase 0: non-temporal closure (plain Datalog fixpoint; buffered inserts
-  // keep the evaluator's iterators valid).
+  // keep the evaluator's iterators valid). Evaluators are built once, ahead
+  // of the loop, so their join plans survive across passes.
   {
+    std::vector<RuleEvaluator> nt_evaluators;
+    nt_evaluators.reserve(nt_rules.size());
+    for (const Rule* rule : nt_rules) {
+      nt_evaluators.emplace_back(*rule, vocab, /*use_index=*/true, metrics);
+    }
     bool changed = true;
     while (changed) {
       changed = false;
       std::vector<GroundAtom> buffer;
-      for (const Rule* rule : nt_rules) {
-        RuleEvaluator evaluator(*rule, vocab);
+      for (RuleEvaluator& evaluator : nt_evaluators) {
         evaluator.Evaluate(model, nullptr, -1, std::nullopt, &result.stats,
                            [&](GroundAtom&& fact) {
                              if (!model.Contains(fact)) {
@@ -133,9 +138,9 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
   std::vector<TemporalRule> temporal_rules;
   temporal_rules.reserve(t_rules.size());
   for (const Rule* rule : t_rules) {
-    temporal_rules.push_back(TemporalRule{rule, RuleEvaluator(*rule, vocab),
-                                          rule->head.time->var,
-                                          rule->head.time->offset});
+    temporal_rules.push_back(
+        TemporalRule{rule, RuleEvaluator(*rule, vocab, true, metrics),
+                     rule->head.time->var, rule->head.time->offset});
   }
 
   // A rule can consume a fact derived at its own timestep only through a

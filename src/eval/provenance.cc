@@ -76,7 +76,7 @@ Result<ProofForest> MaterializeWithProvenance(const Program& program,
   std::vector<RuleEvaluator> evaluators;
   evaluators.reserve(program.rules().size());
   for (const Rule& rule : program.rules()) {
-    evaluators.emplace_back(rule, vocab, options.use_index);
+    evaluators.emplace_back(rule, vocab, options.use_index, options.metrics);
   }
 
   while (!delta.empty()) {

@@ -4,13 +4,17 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "ast/program.h"
 #include "storage/interpretation.h"
 
 namespace chronolog {
+
+class MetricsRegistry;
 
 /// Counters accumulated by the evaluators. `derived` counts every emitted
 /// head instantiation (before deduplication); `inserted` counts facts that
@@ -53,15 +57,30 @@ struct EvalStats {
 /// Semi-naive evaluation restricts one body position to a delta
 /// interpretation; a pre-bound temporal variable supports the per-timestep
 /// forward simulator.
+///
+/// Join planning: instead of matching body atoms in source order, the
+/// evaluator orders them by estimated selectivity (relation cardinalities
+/// plus sampled bound-column fan-outs) the first time a (delta position,
+/// time-bound) configuration is evaluated, and caches the resulting plan.
+/// When the observed match-steps-per-emission of a cached plan drifts far
+/// above its estimate, the plan is rebuilt against current statistics
+/// (sequential evaluation only — see EnsurePlan). Plans only fix the atom
+/// order and a suggested probe column; correctness never depends on the
+/// estimates.
 class RuleEvaluator {
  public:
   /// `rule` and `vocab` must outlive the evaluator. With `use_index` the
   /// evaluator probes the interpretation's lazily built column indexes when
   /// a body atom has a bound argument (hash join); without it every match
-  /// scans the tuple set (the nested-loop baseline of experiment E8).
+  /// scans the relation (the nested-loop baseline of experiment E8).
+  /// `metrics` (nullable) receives the `join.*` instrument family: plan
+  /// builds, cache hits, re-plans, order changes, and the estimated vs
+  /// actual steps-per-emission histograms.
   RuleEvaluator(const Rule& rule, const Vocabulary& vocab,
-                bool use_index = true)
-      : rule_(rule), vocab_(vocab), use_index_(use_index) {}
+                bool use_index = true, MetricsRegistry* metrics = nullptr);
+  ~RuleEvaluator();
+  RuleEvaluator(RuleEvaluator&&) noexcept;
+  RuleEvaluator& operator=(RuleEvaluator&&) = delete;
 
   /// Enumerates instantiations. When `delta` is non-null, the body atom at
   /// `delta_pos` is matched against `delta` instead of `full` (all other
@@ -92,7 +111,25 @@ class RuleEvaluator {
       const std::function<void(GroundAtom&&, std::vector<GroundAtom>&&)>&
           emit) const;
 
+  /// Builds (if absent) the join plan for the (delta_pos, time_bound)
+  /// configuration against current statistics. The parallel fixpoint calls
+  /// this sequentially for every task before fanning out, so that (a) all
+  /// shards of one task run the same plan and (b) no worker ever builds a
+  /// plan — plan construction samples column statistics, which mutates
+  /// per-relation caches and must stay single-threaded.
+  void EnsurePlan(const Interpretation& full, const Interpretation* delta,
+                  int delta_pos, bool time_bound) const;
+
+  /// Body-atom order (source positions) of the cached plan for the given
+  /// configuration; empty when no plan has been built yet. Test-only
+  /// introspection for determinism and planner-behaviour checks.
+  std::vector<uint32_t> PlanOrderForTest(int delta_pos,
+                                         bool time_bound) const;
+
  private:
+  struct JoinPlan;
+  struct PlanCache;
+
   void EvaluateImpl(
       const Interpretation& full, const Interpretation* delta, int delta_pos,
       std::optional<std::pair<VarId, int64_t>> time_binding,
@@ -101,9 +138,20 @@ class RuleEvaluator {
           emit_with_body,
       uint32_t delta_shard, uint32_t delta_num_shards) const;
 
+  std::unique_ptr<JoinPlan> BuildPlan(const Interpretation& full,
+                                      const Interpretation* delta,
+                                      int delta_pos, bool time_bound) const;
+  JoinPlan* GetOrBuildPlan(const Interpretation& full,
+                           const Interpretation* delta, int delta_pos,
+                           bool time_bound, bool allow_replan) const;
+  std::size_t SlotKey(int delta_pos, bool time_bound) const;
+
   const Rule& rule_;
   const Vocabulary& vocab_;
   bool use_index_;
+  // Cached join plans, one slot per (delta_pos, time_bound) configuration.
+  // Mutable: planning is an internal optimisation of const evaluation.
+  mutable std::unique_ptr<PlanCache> plans_;
 };
 
 }  // namespace chronolog

@@ -6,8 +6,8 @@
 namespace chronolog {
 
 namespace {
-const TupleSet kEmptyTupleSet;
-const std::map<int64_t, TupleSet> kEmptyTimeline;
+const Relation kEmptyRelation;
+const std::map<int64_t, Relation> kEmptyTimeline;
 }  // namespace
 
 Interpretation::Interpretation(std::shared_ptr<Vocabulary> vocab)
@@ -47,19 +47,20 @@ void Interpretation::EnsurePred(PredicateId pred) {
   }
 }
 
-void Interpretation::IndexInsertedTuple(PredicateId pred, bool temporal,
-                                        int64_t time, const Tuple& stored) {
+void Interpretation::IndexInsertedRow(PredicateId pred, bool temporal,
+                                      int64_t time, const Relation& rel,
+                                      uint32_t row) {
   if (temporal) {
     if (pred >= t_index_.size() || t_index_[pred].empty()) return;
     auto snapshot = t_index_[pred].find(time);
     if (snapshot == t_index_[pred].end()) return;
     for (auto& [col, index] : snapshot->second) {
-      index.buckets[stored[col]].push_back(&stored);
+      index.buckets[rel.at(row, col)].push_back(row);
     }
   } else {
     if (pred >= nt_index_.size() || nt_index_[pred].empty()) return;
     for (auto& [col, index] : nt_index_[pred]) {
-      index.buckets[stored[col]].push_back(&stored);
+      index.buckets[rel.at(row, col)].push_back(row);
     }
   }
 }
@@ -80,37 +81,37 @@ void Interpretation::SetConcurrentProbes(bool enabled) {
 }
 
 bool Interpretation::Insert(const GroundAtom& fact) {
-  return Insert(fact.pred, fact.time, fact.args);
+  return Insert(fact.pred, fact.time, fact.args.data(), fact.args.size());
 }
 
-bool Interpretation::Insert(PredicateId pred, int64_t time, Tuple args) {
+bool Interpretation::Insert(PredicateId pred, int64_t time, const Tuple& args) {
+  return Insert(pred, time, args.data(), args.size());
+}
+
+bool Interpretation::Insert(PredicateId pred, int64_t time,
+                            const SymbolId* args, std::size_t n) {
   EnsurePred(pred);
   const bool temporal = vocab_->predicate(pred).is_temporal;
-  const Tuple* stored = nullptr;
-  bool inserted;
+  Relation* rel;
   if (temporal) {
     assert(time >= 0);
-    auto [it, fresh] = temporal_[pred][time].insert(std::move(args));
-    inserted = fresh;
-    stored = &*it;
+    rel = &temporal_[pred][time];
   } else {
-    auto [it, fresh] = non_temporal_[pred].insert(std::move(args));
-    inserted = fresh;
-    stored = &*it;
+    rel = &non_temporal_[pred];
   }
-  if (inserted) {
-    ++size_;
-    if (temporal && snapshot_hashing_) {
-      // `+ 1` carries the fact-count term of State::Hash / Hash2; both
-      // families finalize the same inner hash, computed once.
-      const std::size_t base = FactHashBase(pred, *stored);
-      SnapshotHashPair& pair = snapshot_hashes_[time];
-      pair.h1 += Mix64(base) + 1;
-      pair.h2 += Mix64b(base) + 1;
-    }
-    IndexInsertedTuple(pred, temporal, time, *stored);
+  if (!rel->Insert(args, n)) return false;
+  ++size_;
+  if (temporal && snapshot_hashing_) {
+    // `+ 1` carries the fact-count term of State::Hash / Hash2; both
+    // families finalize the same inner hash, computed once.
+    const std::size_t base = FactHashBase(pred, args, n);
+    SnapshotHashPair& pair = snapshot_hashes_[time];
+    pair.h1 += Mix64(base) + 1;
+    pair.h2 += Mix64b(base) + 1;
   }
-  return inserted;
+  IndexInsertedRow(pred, temporal, time, *rel,
+                   static_cast<uint32_t>(rel->size() - 1));
+  return true;
 }
 
 std::size_t Interpretation::SnapshotHash(int64_t time) const {
@@ -139,8 +140,8 @@ bool Interpretation::SnapshotEquals(int64_t t1, int64_t t2) const {
   for (const auto& timeline : temporal_) {
     auto i1 = timeline.find(t1);
     auto i2 = timeline.find(t2);
-    const TupleSet& a = i1 == timeline.end() ? kEmptyTupleSet : i1->second;
-    const TupleSet& b = i2 == timeline.end() ? kEmptyTupleSet : i2->second;
+    const Relation& a = i1 == timeline.end() ? kEmptyRelation : i1->second;
+    const Relation& b = i2 == timeline.end() ? kEmptyRelation : i2->second;
     if (a != b) return false;
   }
   return true;
@@ -151,31 +152,42 @@ void Interpretation::DisableSnapshotHashing() {
   snapshot_hashes_.clear();
 }
 
-const std::vector<const Tuple*>* Interpretation::FindBucket(
-    const ColumnBuckets& index, SymbolId value) {
+const std::vector<uint32_t>* Interpretation::FindBucket(
+    const ColumnBuckets& index, const Relation& rel, SymbolId value) {
   auto bucket = index.buckets.find(value);
-  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+  if (bucket == index.buckets.end()) return nullptr;
+#ifndef NDEBUG
+  // Invalidation-contract check: every indexed row id must address a live
+  // row of the relation the bucket was built over.
+  for (uint32_t row : bucket->second) assert(row < rel.size());
+#else
+  (void)rel;
+#endif
+  return &bucket->second;
 }
 
-const std::vector<const Tuple*>* Interpretation::ProbeNonTemporal(
+const std::vector<uint32_t>* Interpretation::ProbeNonTemporal(
     PredicateId pred, uint32_t col, SymbolId value) const {
   assert(!vocab_->predicate(pred).is_temporal);
   if (pred >= non_temporal_.size()) return nullptr;
+  const Relation& rel = non_temporal_[pred];
   if (probe_mu_ != nullptr) {
     // Concurrent mode: optimistic shared-lock lookup, exclusive build.
     {
       std::shared_lock<std::shared_mutex> lock(*probe_mu_);
       auto it = nt_index_[pred].find(col);
-      if (it != nt_index_[pred].end()) return FindBucket(it->second, value);
+      if (it != nt_index_[pred].end()) {
+        return FindBucket(it->second, rel, value);
+      }
     }
     std::unique_lock<std::shared_mutex> lock(*probe_mu_);
     auto [it, fresh] = nt_index_[pred].try_emplace(col);
     if (fresh) {
-      for (const Tuple& tuple : non_temporal_[pred]) {
-        it->second.buckets[tuple[col]].push_back(&tuple);
+      for (uint32_t row = 0; row < rel.size(); ++row) {
+        it->second.buckets[rel.at(row, col)].push_back(row);
       }
     }
-    return FindBucket(it->second, value);
+    return FindBucket(it->second, rel, value);
   }
   if (nt_index_.size() < non_temporal_.size()) {
     nt_index_.resize(non_temporal_.size());
@@ -183,46 +195,49 @@ const std::vector<const Tuple*>* Interpretation::ProbeNonTemporal(
   auto [it, fresh] = nt_index_[pred].try_emplace(col);
   ColumnBuckets& index = it->second;
   if (fresh) {
-    for (const Tuple& tuple : non_temporal_[pred]) {
-      index.buckets[tuple[col]].push_back(&tuple);
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      index.buckets[rel.at(row, col)].push_back(row);
     }
   }
-  return FindBucket(index, value);
+  return FindBucket(index, rel, value);
 }
 
-const std::vector<const Tuple*>* Interpretation::ProbeSnapshot(
+const std::vector<uint32_t>* Interpretation::ProbeSnapshot(
     PredicateId pred, int64_t time, uint32_t col, SymbolId value) const {
   assert(vocab_->predicate(pred).is_temporal);
   if (pred >= temporal_.size()) return nullptr;
   auto cell = temporal_[pred].find(time);
   if (cell == temporal_[pred].end()) return nullptr;
+  const Relation& rel = cell->second;
   if (probe_mu_ != nullptr) {
     {
       std::shared_lock<std::shared_mutex> lock(*probe_mu_);
       auto snapshot = t_index_[pred].find(time);
       if (snapshot != t_index_[pred].end()) {
         auto it = snapshot->second.find(col);
-        if (it != snapshot->second.end()) return FindBucket(it->second, value);
+        if (it != snapshot->second.end()) {
+          return FindBucket(it->second, rel, value);
+        }
       }
     }
     std::unique_lock<std::shared_mutex> lock(*probe_mu_);
     auto [it, fresh] = t_index_[pred][time].try_emplace(col);
     if (fresh) {
-      for (const Tuple& tuple : cell->second) {
-        it->second.buckets[tuple[col]].push_back(&tuple);
+      for (uint32_t row = 0; row < rel.size(); ++row) {
+        it->second.buckets[rel.at(row, col)].push_back(row);
       }
     }
-    return FindBucket(it->second, value);
+    return FindBucket(it->second, rel, value);
   }
   if (t_index_.size() < temporal_.size()) t_index_.resize(temporal_.size());
   auto [it, fresh] = t_index_[pred][time].try_emplace(col);
   ColumnBuckets& index = it->second;
   if (fresh) {
-    for (const Tuple& tuple : cell->second) {
-      index.buckets[tuple[col]].push_back(&tuple);
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      index.buckets[rel.at(row, col)].push_back(row);
     }
   }
-  return FindBucket(index, value);
+  return FindBucket(index, rel, value);
 }
 
 void Interpretation::InsertDatabase(const Database& db) {
@@ -239,27 +254,28 @@ bool Interpretation::Contains(PredicateId pred, int64_t time,
     if (pred >= temporal_.size()) return false;
     auto it = temporal_[pred].find(time);
     if (it == temporal_[pred].end()) return false;
-    return it->second.count(args) > 0;
+    return it->second.Contains(args.data(), args.size());
   }
   if (pred >= non_temporal_.size()) return false;
-  return non_temporal_[pred].count(args) > 0;
+  return non_temporal_[pred].Contains(args.data(), args.size());
 }
 
-const TupleSet& Interpretation::NonTemporal(PredicateId pred) const {
+const Relation& Interpretation::NonTemporal(PredicateId pred) const {
   assert(!vocab_->predicate(pred).is_temporal);
-  if (pred >= non_temporal_.size()) return kEmptyTupleSet;
+  if (pred >= non_temporal_.size()) return kEmptyRelation;
   return non_temporal_[pred];
 }
 
-const TupleSet& Interpretation::Snapshot(PredicateId pred, int64_t time) const {
+const Relation& Interpretation::Snapshot(PredicateId pred,
+                                         int64_t time) const {
   assert(vocab_->predicate(pred).is_temporal);
-  if (pred >= temporal_.size()) return kEmptyTupleSet;
+  if (pred >= temporal_.size()) return kEmptyRelation;
   auto it = temporal_[pred].find(time);
-  if (it == temporal_[pred].end()) return kEmptyTupleSet;
+  if (it == temporal_[pred].end()) return kEmptyRelation;
   return it->second;
 }
 
-const std::map<int64_t, TupleSet>& Interpretation::Timeline(
+const std::map<int64_t, Relation>& Interpretation::Timeline(
     PredicateId pred) const {
   assert(vocab_->predicate(pred).is_temporal);
   if (pred >= temporal_.size()) return kEmptyTimeline;
@@ -279,14 +295,22 @@ int64_t Interpretation::MaxTime() const {
 
 void Interpretation::ForEach(
     const std::function<void(PredicateId, int64_t, const Tuple&)>& fn) const {
+  Tuple scratch;
   for (std::size_t p = 0; p < non_temporal_.size(); ++p) {
     PredicateId pred = static_cast<PredicateId>(p);
     if (vocab_->predicate(pred).is_temporal) {
-      for (const auto& [time, tuples] : temporal_[p]) {
-        for (const Tuple& t : tuples) fn(pred, time, t);
+      for (const auto& [time, rel] : temporal_[p]) {
+        for (uint32_t row = 0; row < rel.size(); ++row) {
+          rel.CopyRow(row, &scratch);
+          fn(pred, time, scratch);
+        }
       }
     } else {
-      for (const Tuple& t : non_temporal_[p]) fn(pred, 0, t);
+      const Relation& rel = non_temporal_[p];
+      for (uint32_t row = 0; row < rel.size(); ++row) {
+        rel.CopyRow(row, &scratch);
+        fn(pred, 0, scratch);
+      }
     }
   }
 }
@@ -310,8 +334,9 @@ void Interpretation::TruncateInPlace(int64_t m) {
   for (auto it = snapshot_hashes_.begin(); it != snapshot_hashes_.end();) {
     it = it->first > m ? snapshot_hashes_.erase(it) : std::next(it);
   }
-  // Snapshot indexes of the erased suffix hold pointers into the erased
-  // sets; indexes of surviving snapshots stay valid (map nodes are stable).
+  // Snapshot indexes of the erased suffix address erased relations; indexes
+  // of surviving snapshots stay valid (row ids are positional and those
+  // relations are untouched).
   for (auto& per_pred : t_index_) {
     per_pred.erase(per_pred.upper_bound(m), per_pred.end());
   }
@@ -320,11 +345,11 @@ void Interpretation::TruncateInPlace(int64_t m) {
 bool Interpretation::NonTemporalEquals(const Interpretation& other) const {
   std::size_t n = std::max(non_temporal_.size(), other.non_temporal_.size());
   for (std::size_t p = 0; p < n; ++p) {
-    const TupleSet& a =
-        p < non_temporal_.size() ? non_temporal_[p] : kEmptyTupleSet;
-    const TupleSet& b = p < other.non_temporal_.size()
+    const Relation& a =
+        p < non_temporal_.size() ? non_temporal_[p] : kEmptyRelation;
+    const Relation& b = p < other.non_temporal_.size()
                             ? other.non_temporal_[p]
-                            : kEmptyTupleSet;
+                            : kEmptyRelation;
     if (a != b) return false;
   }
   return true;

@@ -13,13 +13,14 @@
 #include "ast/atom.h"
 #include "ast/program.h"
 #include "ast/vocabulary.h"
+#include "storage/relation.h"
 #include "storage/tuple.h"
 
 namespace chronolog {
 
 /// A finite fragment of a Herbrand interpretation of a TDD: for every
-/// temporal predicate a snapshot index `time -> tuples`, for every
-/// non-temporal predicate a tuple set (the paper's `M_nt`).
+/// temporal predicate a snapshot index `time -> relation`, for every
+/// non-temporal predicate a columnar relation (the paper's `M_nt`).
 ///
 /// Interpretations are the working store of every evaluator in chronolog:
 /// `T_{Z∧D}` maps interpretations to interpretations, algorithm BT iterates
@@ -29,9 +30,9 @@ class Interpretation {
  public:
   explicit Interpretation(std::shared_ptr<Vocabulary> vocab);
 
-  // Copies carry the facts but not the lazily built column indexes (those
-  // hold pointers into this instance's tuple sets). Moves keep them:
-  // unordered_set nodes are stable under move.
+  // Copies carry the facts but not the lazily built column indexes (a copy
+  // rebuilds its own on demand). Moves keep them: row ids are positional and
+  // the relations they index move along.
   Interpretation(const Interpretation& other);
   Interpretation& operator=(const Interpretation& other);
   Interpretation(Interpretation&&) = default;
@@ -41,9 +42,13 @@ class Interpretation {
   const std::shared_ptr<Vocabulary>& vocab_ptr() const { return vocab_; }
 
   /// Inserts a fact; returns true when it was new. For temporal predicates,
-  /// `time` must be >= 0.
+  /// `time` must be >= 0. The span overload copies `args[0..n)` straight
+  /// into the columnar store — the allocation-free path the fixpoint merge
+  /// loops use.
   bool Insert(const GroundAtom& fact);
-  bool Insert(PredicateId pred, int64_t time, Tuple args);
+  bool Insert(PredicateId pred, int64_t time, const Tuple& args);
+  bool Insert(PredicateId pred, int64_t time, const SymbolId* args,
+              std::size_t n);
 
   /// Inserts every fact of `db`.
   void InsertDatabase(const Database& db);
@@ -55,15 +60,15 @@ class Interpretation {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Tuples of a non-temporal predicate.
-  const TupleSet& NonTemporal(PredicateId pred) const;
+  /// Tuples of a non-temporal predicate, as a columnar relation.
+  const Relation& NonTemporal(PredicateId pred) const;
 
   /// Tuples of a temporal predicate at `time` — one cell of the paper's
-  /// snapshot `M(t)`. Returns an empty set when nothing is stored there.
-  const TupleSet& Snapshot(PredicateId pred, int64_t time) const;
+  /// snapshot `M(t)`. Returns an empty relation when nothing is stored there.
+  const Relation& Snapshot(PredicateId pred, int64_t time) const;
 
   /// All populated time points of a temporal predicate, ascending.
-  const std::map<int64_t, TupleSet>& Timeline(PredicateId pred) const;
+  const std::map<int64_t, Relation>& Timeline(PredicateId pred) const;
 
   /// Largest time point carrying any temporal fact; -1 when none.
   int64_t MaxTime() const;
@@ -98,7 +103,9 @@ class Interpretation {
   void DisableSnapshotHashing();
 
   /// Enumerates every stored fact. `fn` receives (pred, time, tuple); `time`
-  /// is 0 for non-temporal predicates.
+  /// is 0 for non-temporal predicates. The Tuple reference points at a
+  /// scratch buffer that is overwritten between calls — callbacks must copy
+  /// whatever they keep (all in-tree consumers insert or serialise).
   void ForEach(
       const std::function<void(PredicateId, int64_t, const Tuple&)>& fn) const;
 
@@ -120,18 +127,23 @@ class Interpretation {
 
   friend bool operator==(const Interpretation& a, const Interpretation& b);
 
-  /// Column-index probes for hash joins. Returns the tuples of `pred`
-  /// (restricted to snapshot `time` for temporal predicates) whose column
-  /// `col` equals `value`, or nullptr when there are none. The index for a
-  /// (pred, [time,] col) combination is built lazily on first probe and
-  /// maintained by subsequent inserts; tuple pointers stay valid as long as
-  /// this interpretation is neither destroyed, copied over, nor truncated.
-  const std::vector<const Tuple*>* ProbeNonTemporal(PredicateId pred,
-                                                    uint32_t col,
-                                                    SymbolId value) const;
-  const std::vector<const Tuple*>* ProbeSnapshot(PredicateId pred,
-                                                 int64_t time, uint32_t col,
-                                                 SymbolId value) const;
+  /// Column-index probes for hash joins. Returns the row ids (into the
+  /// relation `NonTemporal(pred)` / `Snapshot(pred, time)`) of the tuples
+  /// whose column `col` equals `value`, or nullptr when there are none. The
+  /// index for a (pred, [time,] col) combination is built lazily on first
+  /// probe and maintained by subsequent inserts.
+  ///
+  /// Invalidation contract: row ids are positional, so — unlike the tuple
+  /// pointers this API used to return — they survive further inserts and
+  /// moves of the interpretation. A returned bucket pointer stays valid
+  /// until the interpretation is copied over or truncated (both drop the
+  /// affected indexes); the bucket may grow while held. Debug builds assert
+  /// that every bucket's row ids lie inside the relation they index.
+  const std::vector<uint32_t>* ProbeNonTemporal(PredicateId pred, uint32_t col,
+                                                SymbolId value) const;
+  const std::vector<uint32_t>* ProbeSnapshot(PredicateId pred, int64_t time,
+                                             uint32_t col,
+                                             SymbolId value) const;
 
   /// Concurrent-probe mode: while enabled, lazy index construction inside
   /// ProbeNonTemporal / ProbeSnapshot is guarded by a reader-writer lock so
@@ -142,17 +154,23 @@ class Interpretation {
   /// historical behaviour) by default.
   void SetConcurrentProbes(bool enabled);
 
+  /// True while concurrent-probe mode is on. The join planner uses this as
+  /// a "parallel phase in progress" signal: re-planning samples column
+  /// statistics (Relation::DistinctInColumn mutates a cache), which is only
+  /// safe while evaluation is single-threaded.
+  bool concurrent_probes() const { return probe_mu_ != nullptr; }
+
  private:
-  /// value -> tuples bucket map of one indexed column.
+  /// value -> row-id bucket map of one indexed column.
   struct ColumnBuckets {
-    std::unordered_map<SymbolId, std::vector<const Tuple*>> buckets;
+    std::unordered_map<SymbolId, std::vector<uint32_t>> buckets;
   };
 
   std::shared_ptr<Vocabulary> vocab_;
   // Indexed by PredicateId. Exactly one of the two slots is meaningful per
   // predicate; both are default-constructed for uniformity.
-  std::vector<TupleSet> non_temporal_;
-  std::vector<std::map<int64_t, TupleSet>> temporal_;
+  std::vector<Relation> non_temporal_;
+  std::vector<std::map<int64_t, Relation>> temporal_;
   std::size_t size_ = 0;
 
   // Per-timestep state hashes: snapshot_hashes_[t] ==
@@ -179,10 +197,11 @@ class Interpretation {
   mutable std::unique_ptr<std::shared_mutex> probe_mu_;
 
   void EnsurePred(PredicateId pred);
-  void IndexInsertedTuple(PredicateId pred, bool temporal, int64_t time,
-                          const Tuple& stored);
-  static const std::vector<const Tuple*>* FindBucket(const ColumnBuckets& index,
-                                                     SymbolId value);
+  void IndexInsertedRow(PredicateId pred, bool temporal, int64_t time,
+                        const Relation& rel, uint32_t row);
+  static const std::vector<uint32_t>* FindBucket(const ColumnBuckets& index,
+                                                 const Relation& rel,
+                                                 SymbolId value);
 };
 
 }  // namespace chronolog

@@ -1,0 +1,195 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace chronolog {
+
+namespace {
+
+constexpr uint64_t kLowBits = 0x0101010101010101ULL;
+constexpr uint64_t kHighBits = 0x8080808080808080ULL;
+
+inline uint64_t LoadGroup(const uint8_t* p) {
+  uint64_t g;
+  std::memcpy(&g, p, sizeof(g));
+  return g;
+}
+
+/// Bytes of `g` equal to `byte`, marked by their high bit. The SWAR
+/// subtraction can report false positives for occupied slots whose tag
+/// shares low bits with `byte` — harmless, every hit is verified against the
+/// stored row — but never for empty slots: an empty control byte (0x80) has
+/// its high bit set, which clears the corresponding bit of `~x`.
+inline uint64_t MatchByte(uint64_t g, uint8_t byte) {
+  const uint64_t x = g ^ (kLowBits * byte);
+  return (x - kLowBits) & ~x & kHighBits;
+}
+
+inline uint8_t TagOf(std::size_t hash) {
+  return static_cast<uint8_t>(hash >> 57) & 0x7f;
+}
+
+}  // namespace
+
+void Relation::SetCtrl(std::size_t slot, uint8_t byte) {
+  ctrl_[slot] = byte;
+  if (slot < kGroup - 1) ctrl_[cap_ + slot] = byte;  // mirrored tail
+}
+
+std::size_t Relation::HashOfRow(std::size_t row) const {
+  std::size_t seed = arity_;
+  for (std::size_t c = 0; c < arity_; ++c) {
+    HashCombine(seed, static_cast<std::size_t>(cols_[c][row]));
+  }
+  return Mix64(seed);
+}
+
+bool Relation::RowEqualsData(std::size_t row, const SymbolId* data,
+                             std::size_t n) const {
+  for (std::size_t c = 0; c < n; ++c) {
+    if (cols_[c][row] != data[c]) return false;
+  }
+  return true;
+}
+
+uint32_t Relation::FindRow(const SymbolId* data, std::size_t n,
+                           std::size_t hash, std::size_t* insert_slot) const {
+  const std::size_t mask = cap_ - 1;
+  const uint8_t tag = TagOf(hash);
+  std::size_t idx = hash & mask;
+  while (true) {
+    const uint64_t g = LoadGroup(ctrl_.data() + idx);
+    for (uint64_t m = MatchByte(g, tag); m != 0; m &= m - 1) {
+      const std::size_t slot =
+          (idx + (static_cast<std::size_t>(__builtin_ctzll(m)) >> 3)) & mask;
+      const uint32_t row = slots_[slot];
+      if (RowEqualsData(row, data, n)) return row;
+    }
+    const uint64_t empties = g & kHighBits;
+    if (empties != 0) {
+      if (insert_slot != nullptr) {
+        *insert_slot =
+            (idx + (static_cast<std::size_t>(__builtin_ctzll(empties)) >> 3)) &
+            mask;
+      }
+      return kNotFound;
+    }
+    idx = (idx + kGroup) & mask;
+  }
+}
+
+void Relation::PlaceRow(std::size_t row, std::size_t hash) {
+  const std::size_t mask = cap_ - 1;
+  std::size_t idx = hash & mask;
+  while (true) {
+    const uint64_t g = LoadGroup(ctrl_.data() + idx);
+    const uint64_t empties = g & kHighBits;
+    if (empties != 0) {
+      const std::size_t slot =
+          (idx + (static_cast<std::size_t>(__builtin_ctzll(empties)) >> 3)) &
+          mask;
+      SetCtrl(slot, TagOf(hash));
+      slots_[slot] = static_cast<uint32_t>(row);
+      return;
+    }
+    idx = (idx + kGroup) & mask;
+  }
+}
+
+void Relation::Grow() {
+  cap_ = cap_ == 0 ? 16 : cap_ * 2;
+  ctrl_.assign(cap_ + kGroup - 1, kEmpty);
+  slots_.assign(cap_, 0);
+  // Rows are unique by construction, so re-placement needs no equality
+  // probes — just the first free slot on each row's probe path.
+  for (std::size_t row = 0; row < num_rows_; ++row) {
+    PlaceRow(row, HashOfRow(row));
+  }
+}
+
+bool Relation::Insert(const SymbolId* data, std::size_t n) {
+  if (!arity_set_) {
+    arity_ = static_cast<uint32_t>(n);
+    arity_set_ = true;
+    cols_.resize(n);
+  }
+  assert(n == arity_);
+  // Grow at 7/8 load (keeps probe sequences short; amortised O(1)).
+  if (cap_ == 0 || (num_rows_ + 1) * 8 > cap_ * 7) Grow();
+  const std::size_t hash = RowHash(data, n);
+  std::size_t insert_slot = 0;
+  if (FindRow(data, n, hash, &insert_slot) != kNotFound) return false;
+  SetCtrl(insert_slot, TagOf(hash));
+  slots_[insert_slot] = num_rows_;
+  for (std::size_t c = 0; c < n; ++c) cols_[c].push_back(data[c]);
+  ++num_rows_;
+  return true;
+}
+
+bool Relation::Contains(const SymbolId* data, std::size_t n) const {
+  if (num_rows_ == 0) return false;
+  assert(n == arity_);
+  return FindRow(data, n, RowHash(data, n), nullptr) != kNotFound;
+}
+
+Tuple Relation::Row(std::size_t row) const {
+  Tuple out;
+  CopyRow(row, &out);
+  return out;
+}
+
+void Relation::CopyRow(std::size_t row, Tuple* out) const {
+  out->clear();
+  out->reserve(arity_);
+  for (std::size_t c = 0; c < arity_; ++c) out->push_back(cols_[c][row]);
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (a.num_rows_ != b.num_rows_) return false;
+  if (a.num_rows_ == 0) return true;
+  if (a.arity_ != b.arity_) return false;
+  Tuple scratch;
+  for (std::size_t row = 0; row < a.num_rows_; ++row) {
+    a.CopyRow(row, &scratch);
+    if (!b.Contains(scratch.data(), scratch.size())) return false;
+  }
+  return true;
+}
+
+std::size_t Relation::DistinctInColumn(std::size_t col) const {
+  if (num_rows_ == 0 || col >= arity_) return 1;
+  if (distinct_cache_.size() < arity_) distinct_cache_.resize(arity_, {0, 0});
+  auto& [rows_at, estimate] = distinct_cache_[col];
+  if (rows_at != 0 && num_rows_ <= 2 * static_cast<std::size_t>(rows_at)) {
+    return estimate;
+  }
+  constexpr std::size_t kSample = 1024;
+  const std::size_t step = std::max<std::size_t>(1, num_rows_ / kSample);
+  std::vector<SymbolId> sample;
+  sample.reserve(std::min<std::size_t>(num_rows_, kSample + 1));
+  const std::vector<SymbolId>& column = cols_[col];
+  for (std::size_t row = 0; row < num_rows_; row += step) {
+    sample.push_back(column[row]);
+  }
+  std::sort(sample.begin(), sample.end());
+  const std::size_t distinct = static_cast<std::size_t>(
+      std::unique(sample.begin(), sample.end()) - sample.begin());
+  std::size_t result;
+  if (step == 1) {
+    result = distinct;  // exact
+  } else if (distinct == sample.size()) {
+    // Every sampled value was fresh: treat the column as (near-)unique.
+    result = num_rows_;
+  } else {
+    // Constant-fan-out extrapolation: rows / (sampled / distinct).
+    result = std::max<std::size_t>(1, num_rows_ * distinct / sample.size());
+  }
+  result = std::max<std::size_t>(1, std::min<std::size_t>(result, num_rows_));
+  rows_at = num_rows_;
+  estimate = static_cast<uint32_t>(result);
+  return result;
+}
+
+}  // namespace chronolog

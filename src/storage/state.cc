@@ -9,8 +9,9 @@ State State::FromInterpretation(const Interpretation& interp, int64_t t) {
   const Vocabulary& vocab = interp.vocab();
   for (PredicateId pred : vocab.AllPredicates()) {
     if (!vocab.predicate(pred).is_temporal) continue;
-    for (const Tuple& tuple : interp.Snapshot(pred, t)) {
-      state.facts_.emplace_back(pred, tuple);
+    const Relation& rel = interp.Snapshot(pred, t);
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      state.facts_.emplace_back(pred, rel.Row(row));
     }
   }
   std::sort(state.facts_.begin(), state.facts_.end());

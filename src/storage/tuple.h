@@ -1,7 +1,7 @@
 #ifndef CHRONOLOG_STORAGE_TUPLE_H_
 #define CHRONOLOG_STORAGE_TUPLE_H_
 
-#include <unordered_set>
+#include <cstddef>
 #include <vector>
 
 #include "util/hash.h"
@@ -10,20 +10,24 @@
 namespace chronolog {
 
 /// The non-temporal argument vector of a ground atom. Constants are interned
-/// symbols, so a tuple is a plain integer vector.
+/// symbols, so a tuple is a plain integer vector. Bulk storage does not hold
+/// Tuples: relations keep their rows in columnar form (storage/relation.h)
+/// and materialise a Tuple only at API boundaries.
 using Tuple = std::vector<SymbolId>;
-
-/// Deduplicated set of tuples of one predicate (at one time point, for
-/// temporal predicates).
-using TupleSet = std::unordered_set<Tuple, VectorHash>;
 
 /// Pre-finalization hash of one time-projected fact `(pred, args)` — the
 /// shared inner value both fact-hash families finalize. Factored out so
-/// computing the pair (FactHash, FactHash2) walks the tuple once.
-inline std::size_t FactHashBase(std::size_t pred, const Tuple& args) {
-  std::size_t seed = args.size();
+/// computing the pair (FactHash, FactHash2) walks the tuple once. The span
+/// overload hashes `args[0..n)` identically, letting columnar storage feed
+/// gathered rows without building a Tuple.
+inline std::size_t FactHashBase(std::size_t pred, const SymbolId* args,
+                                std::size_t n) {
+  std::size_t seed = n;
   HashCombine(seed, pred);
-  return HashRange(args.data(), args.size(), seed);
+  return HashRange(args, n, seed);
+}
+inline std::size_t FactHashBase(std::size_t pred, const Tuple& args) {
+  return FactHashBase(pred, args.data(), args.size());
 }
 
 /// Finalized hash of one time-projected fact `(pred, args)` — the unit of the

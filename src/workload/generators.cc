@@ -116,6 +116,18 @@ std::string EvenSource() {
   return "even(0).\neven(T+2) :- even(T).\n";
 }
 
+std::string SkewedJoinSource(int wide) {
+  // One marked entity steps forward each tick; `wide` is a high-fan-out
+  // relation whose join with the single-row `narrow` filter keeps exactly
+  // one binding alive. Source order (wide before narrow) enumerates all
+  // `wide` rows per tick; a selectivity-aware order probes `narrow` first.
+  std::string out = "hit(T+1, X) :- hit(T, X), wide(X, Y), narrow(Y).\n";
+  out += "hit(0, a).\n";
+  for (int i = 0; i < wide; ++i) out += "wide(a, y" + N(i) + ").\n";
+  out += "narrow(y0).\n";
+  return out;
+}
+
 std::string BoundedDatalogSource() {
   return R"(
 % Non-recursive (hence strongly bounded) Datalog: two-hop reachability.

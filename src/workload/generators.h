@@ -68,6 +68,14 @@ std::string DelayChainSource(const std::vector<int>& delays);
 /// `even(0). even(T+2) :- even(T).` — the paper's running example.
 std::string EvenSource();
 
+/// Selectivity-skew microbench: `hit(T+1,X) :- hit(T,X), wide(X,Y),
+/// narrow(Y).` with `wide` holding `wide` rows of identical X and `narrow`
+/// a single row. Source-order joins enumerate every `wide` row per
+/// timestep; a selectivity-driven order probes `narrow` first and stays
+/// O(1) per step — the workload behind BM_BtSkewedJoin and the join-planner
+/// tests.
+std::string SkewedJoinSource(int wide);
+
 // ---------------------------------------------------------------------------
 // Datalog inputs for the Theorem 6.2 temporalisation (experiment E7).
 // ---------------------------------------------------------------------------

@@ -66,6 +66,7 @@ TEST(BtTest, SemiNaiveAndNaiveAgree) {
   GroundAtom q = MustGround(unit, "path(4, n0, n1)");
   BtOptions naive;
   naive.range = 10;
+  naive.semi_naive = false;  // explicitly reach the reference oracle
   BtOptions semi = naive;
   semi.semi_naive = true;
   auto r1 = RunBt(unit.program, unit.database, q, naive);

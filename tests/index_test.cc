@@ -72,7 +72,8 @@ TEST_F(IndexTest, SnapshotProbe) {
   const auto* bucket = interp.ProbeSnapshot(p_, 3, 0, a_);
   ASSERT_NE(bucket, nullptr);
   EXPECT_EQ(bucket->size(), 1u);
-  EXPECT_EQ((*bucket)[0]->at(0), a_);
+  // Buckets hold row ids into the probed snapshot's relation.
+  EXPECT_EQ(interp.Snapshot(p_, 3).at((*bucket)[0], 0), a_);
   EXPECT_EQ(interp.ProbeSnapshot(p_, 4, 0, a_), nullptr);  // empty snapshot
   EXPECT_EQ(interp.ProbeSnapshot(p_, 3, 0, c_), nullptr);  // empty bucket
 }

@@ -181,8 +181,9 @@ TEST(SpecificationTest, AskAgreesWithDeepMaterialisation) {
   const Vocabulary& vocab = unit.program.vocab();
   PredicateId tok = vocab.FindPredicate("tok");
   for (int64_t t = 0; t <= horizon; ++t) {
-    for (const Tuple& tuple : model->Snapshot(tok, t)) {
-      EXPECT_TRUE(spec->Ask(GroundAtom(tok, t, tuple))) << t;
+    const Relation& rel = model->Snapshot(tok, t);
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      EXPECT_TRUE(spec->Ask(GroundAtom(tok, t, rel.Row(row)))) << t;
     }
   }
   // Spot-check negatives: a token can never be at two ring positions at the
