@@ -4,9 +4,10 @@
 # chronolog-lint gate over every shipped example program, a clang-tidy pass
 # (skipped when the binary is absent), a metrics-liveness check of the
 # chronolog_obs instrumentation, a perf smoke gate comparing two BT hot-path
-# benchmarks against the committed BENCH_PR6.json baseline, a chronolog-serve
-# scrape gate (Prometheus
-# exposition + Chrome trace + clean SIGINT shutdown), an
+# benchmarks plus the loopback POST /query round-trip against the committed
+# BENCH_PR7.json baseline, a chronolog-serve gate (Prometheus exposition +
+# Chrome trace + POST /query answers cross-checked against the tddsh REPL
+# oracle + no-5xx assertion + clean SIGINT shutdown), an
 # AddressSanitizer/UBSan build
 # (CHRONOLOG_SANITIZE, see CMakeLists.txt) with a full ctest run, and a
 # ThreadSanitizer build running the concurrency-heavy suites with
@@ -99,12 +100,15 @@ print(f"metrics liveness: {len(histograms)} histograms, all non-empty "
 PY
 
 # Perf smoke gate: two representative BT benchmarks (the even-chain depth
-# sweep and the random-graph path workload) against the committed
-# BENCH_PR6.json baseline. A median more than 10% above the baseline fails —
-# a cheap tripwire for accidental hot-path regressions, not a full bench run.
+# sweep and the random-graph path workload) plus the single-client POST
+# /query round-trip, against the committed BENCH_PR7.json baseline. A median
+# above the per-benchmark limit fails — a cheap tripwire for accidental
+# hot-path regressions, not a full bench run. The serve round-trip gets a
+# wider limit (1.5x) because loopback latency on shared CI hosts is far
+# noisier than the in-process BT workloads.
 # Set CHRONOLOG_SKIP_PERF_GATE=1 on hosts that are slower than the baseline
 # machine (the committed medians are host-specific).
-echo "== perf smoke gate (BT hot path vs BENCH_PR6.json) =="
+echo "== perf smoke gate (hot paths vs BENCH_PR7.json) =="
 if [[ "${CHRONOLOG_SKIP_PERF_GATE:-0}" == 1 ]]; then
   echo "perf gate: skipped (CHRONOLOG_SKIP_PERF_GATE=1)"
 else
@@ -115,18 +119,31 @@ else
     --benchmark_format=json \
     --benchmark_out="$BUILD_DIR/perf_smoke.json" \
     --benchmark_out_format=json >/dev/null
-  python3 - "$BUILD_DIR/perf_smoke.json" BENCH_PR6.json <<'PY'
+  "$BUILD_DIR/bench/bench_serve_qps" \
+    --benchmark_filter='BM_ServePostQuery/real_time/threads:1$' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="$BUILD_DIR/perf_smoke_serve.json" \
+    --benchmark_out_format=json >/dev/null
+  python3 - "$BUILD_DIR/perf_smoke.json" "$BUILD_DIR/perf_smoke_serve.json" \
+    BENCH_PR7.json <<'PY'
 import json
 import sys
 
-with open(sys.argv[1]) as fh:
-    report = json.load(fh)
-with open(sys.argv[2]) as fh:
+benchmarks = []
+for path in sys.argv[1:3]:
+    with open(path) as fh:
+        benchmarks.extend(json.load(fh)["benchmarks"])
+with open(sys.argv[3]) as fh:
     baseline = json.load(fh)
+
+# Loopback HTTP on a shared host jitters much more than in-process evaluation.
+LIMITS = {"BM_ServePostQuery/real_time/threads:1": 1.50}
 
 failures = []
 checked = 0
-for bench in report["benchmarks"]:
+for bench in benchmarks:
     if bench.get("aggregate_name") != "median":
         continue
     name = bench["run_name"]
@@ -135,16 +152,16 @@ for bench in report["benchmarks"]:
         sys.exit(f"perf gate: {name} missing from committed baseline")
     assert bench["time_unit"] == "ms", (name, bench["time_unit"])
     measured = bench["real_time"]
-    allowed = base["median_wall_ms"] * 1.10
+    allowed = base["median_wall_ms"] * LIMITS.get(name, 1.10)
     checked += 1
     status = "ok" if measured <= allowed else "REGRESSION"
-    print(f"perf gate: {name}: {measured:.1f} ms "
-          f"(baseline {base['median_wall_ms']:.1f} ms, limit {allowed:.1f}) "
+    print(f"perf gate: {name}: {measured:.2f} ms "
+          f"(baseline {base['median_wall_ms']:.2f} ms, limit {allowed:.2f}) "
           f"{status}")
     if measured > allowed:
         failures.append(name)
-if checked != 2:
-    sys.exit(f"perf gate: expected 2 medians, saw {checked}")
+if checked != 3:
+    sys.exit(f"perf gate: expected 3 medians, saw {checked}")
 if failures:
     sys.exit("perf gate: regression in " + ", ".join(failures) +
              " (CHRONOLOG_SKIP_PERF_GATE=1 to bypass on slower hosts)")
@@ -156,8 +173,11 @@ fi
 # doubling detector + semi-naive fixpoint, so the fixpoint.* family is
 # live) with a warm-up query (query.* family), scrape /healthz + /metrics +
 # /trace, validate the Prometheus exposition (well-formed lines, TYPE
-# declarations, monotone cumulative buckets, required families), then
-# SIGINT and require a clean exit.
+# declarations, monotone cumulative buckets, required families), round-trip
+# POST /query and cross-check the answer rows + rewrite rule against what
+# the tddsh REPL prints for the same query over the same program, require
+# the error statuses (404 unknown database, 400 malformed JSON) and zero
+# serve.responses_5xx, then SIGINT and require a clean exit.
 echo "== serve gate (chronolog-serve scrape) =="
 SERVE="$BUILD_DIR/tools/chronolog-serve"
 SERVE_PORT_FILE="$BUILD_DIR/serve_port"
@@ -235,6 +255,70 @@ print(f"serve gate: {len(types)} families scraped, "
       f"{len(buckets)} histograms monotone, "
       f"{len(trace['traceEvents'])} trace events")
 PY
+
+# POST /query round-trip, cross-checked against the tddsh REPL as the
+# answer oracle: both paths evaluate the same query over the same compiled
+# specification, so the rows and the rewrite rule must agree exactly.
+ORACLE_OUT="$BUILD_DIR/serve_oracle.txt"
+echo '?- tok(T, a0).' | \
+  "$BUILD_DIR/examples/tddsh" tests/data/token_ring.tdl > "$ORACLE_OUT"
+python3 - "$(cat "$SERVE_PORT_FILE")" "$ORACLE_OUT" <<'PY'
+import json
+import re
+import sys
+import urllib.error
+import urllib.request
+
+port, oracle_path = sys.argv[1], sys.argv[2]
+
+
+def post_query(body):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/query", data=body.encode(), method="POST")
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+
+
+# The oracle: tddsh prints one "T = <t>" line per answer row and a rewrite
+# footer "rewrite rule <lhs> -> 0: ... t + <p>k".
+with open(oracle_path) as fh:
+    oracle_text = fh.read()
+oracle_rows = [[int(m)] for m in re.findall(r"T = (\d+)", oracle_text)]
+rewrite = re.search(r"rewrite rule (\d+) -> 0:.*t \+ (\d+)k", oracle_text)
+assert oracle_rows, f"serve gate: tddsh oracle produced no rows:\n{oracle_text}"
+assert rewrite, f"serve gate: tddsh oracle printed no rewrite:\n{oracle_text}"
+
+status, answer = post_query(
+    '{"query":"tok(T, a0)","database":"default"}')
+assert status == 200, (status, answer)
+assert answer["boolean"] is True, answer
+assert answer["rows"] == oracle_rows, (answer["rows"], oracle_rows)
+assert answer["rewrite"]["lhs"] == int(rewrite.group(1)), answer
+assert answer["rewrite"]["p"] == int(rewrite.group(2)), answer
+assert answer["partial"] is False and answer["truncated"] is False, answer
+
+status, err = post_query('{"query":"tok(T, a0)","database":"nope"}')
+assert status == 404, (status, err)
+status, err = post_query('{"query":')
+assert status == 400, (status, err)
+
+# No request above (nor any earlier scrape) may have produced a 5xx.
+with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics") as resp:
+    metrics = resp.read().decode()
+for line in metrics.splitlines():
+    if line.startswith("serve_responses_5xx "):
+        assert float(line.split(" ")[1]) == 0, line
+ok_lines = [l for l in metrics.splitlines()
+            if l.startswith("serve_responses_2xx ")]
+assert ok_lines and float(ok_lines[0].split(" ")[1]) >= 4, ok_lines
+
+print(f"serve gate: POST /query matches tddsh oracle "
+      f"({len(oracle_rows)} rows, rewrite {rewrite.group(1)} -> 0 "
+      f"mod {rewrite.group(2)}), no 5xx responses")
+PY
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"  # non-zero exit (unclean shutdown) fails the gate via set -e
 echo "serve gate: ok"
@@ -259,6 +343,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 CHRONOLOG_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log|Columnar|JoinPlan'
+  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log|Columnar|JoinPlan|QueryEndpoint'
 
 echo "ci.sh: all checks passed"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the two headline benchmark suites (relational-specification builds and
-# algorithm-BT scaling) and distils their google-benchmark JSON into
-# BENCH_PR<n>.json: one record per benchmark with the median wall time in
-# milliseconds, the thread count it ran with, and the temporal horizon
-# (|T| representatives) where the workload reports one.
+# Runs the headline benchmark suites (relational-specification builds,
+# algorithm-BT scaling, and end-to-end query serving over loopback HTTP) and
+# distils their google-benchmark JSON into BENCH_PR<n>.json: one record per
+# benchmark with the median wall time in milliseconds, the thread count it
+# ran with, and the temporal horizon (|T| representatives) where the
+# workload reports one.
 #
 # Usage: bench/run_benches.sh [build_dir] [output_json]
 # The default output name is BENCH_PR${BENCH_PR}.json (BENCH_PR defaults to
@@ -12,13 +13,13 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR${BENCH_PR:-6}.json}"
+OUT="${2:-BENCH_PR${BENCH_PR:-7}.json}"
 REPS="${BENCH_REPETITIONS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 GIT_COMMIT="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
-for bench in bench_spec_build bench_bt_scaling; do
+for bench in bench_spec_build bench_bt_scaling bench_serve_qps; do
   bin="$BUILD_DIR/bench/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (run: cmake --build $BUILD_DIR --target $bench)" >&2
@@ -76,7 +77,7 @@ if os.path.exists(metrics_path):
         "counters": dump["metrics"]["counters"],
         "trace_events": dump["trace_events"],
     }
-for suite in ("bench_spec_build", "bench_bt_scaling"):
+for suite in ("bench_spec_build", "bench_bt_scaling", "bench_serve_qps"):
     with open(f"{tmp_dir}/{suite}.json") as fh:
         report = json.load(fh)
     for bench in report["benchmarks"]:

@@ -133,7 +133,8 @@ Result<bool> TemporalDatabase::AskBt(std::string_view ground_atom,
   return result.answer;
 }
 
-Result<QueryAnswer> TemporalDatabase::Query(std::string_view query_text) {
+Result<QueryAnswer> TemporalDatabase::Query(std::string_view query_text,
+                                            QueryLimits limits) {
   // `::chronolog::Query` disambiguates the AST type from this member.
   CHRONOLOG_ASSIGN_OR_RETURN(::chronolog::Query parsed,
                              ParseQuery(query_text, vocab()));
@@ -142,6 +143,10 @@ Result<QueryAnswer> TemporalDatabase::Query(std::string_view query_text) {
   QueryEvalOptions eval_options;
   eval_options.metrics = metrics_.get();
   eval_options.trace = trace_.get();
+  if (limits.timeout.count() > 0) {
+    eval_options.deadline = std::chrono::steady_clock::now() + limits.timeout;
+  }
+  eval_options.max_rows = limits.max_rows;
   return EvaluateQueryOverSpec(parsed, *spec, eval_options);
 }
 

@@ -116,8 +116,10 @@ class TemporalDatabase {
                      std::optional<int64_t> range = std::nullopt);
 
   /// First-order temporal query (Proposition 3.1 evaluation over the
-  /// specification).
-  Result<QueryAnswer> Query(std::string_view query);
+  /// specification). `limits` bounds the evaluation per query: a wall-clock
+  /// timeout (answer carries `QueryAnswer::partial` when it fires) and a
+  /// row cap (`QueryAnswer::truncated`); the default is unlimited.
+  Result<QueryAnswer> Query(std::string_view query, QueryLimits limits = {});
 
   /// Renders a ground hyperresolution proof of `ground_atom` (the
   /// derivation object behind Theorem 4.1's correctness argument). Atoms

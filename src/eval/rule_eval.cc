@@ -421,9 +421,10 @@ void RuleEvaluator::EvaluateImpl(
   const int norm_pos = delta == nullptr ? -1 : delta_pos;
   JoinPlan* plan = nullptr;
   if (nsteps > 0) {
-    // Re-planning samples column statistics and swaps the cached plan, so
-    // it is only allowed while evaluation is provably single-threaded: an
-    // unsharded call outside a concurrent-probe (parallel) phase.
+    // Re-planning swaps the cached plan in place, so it is only allowed
+    // while evaluation is provably single-threaded: an unsharded call
+    // outside a concurrent-probe (parallel) phase. (The column-statistics
+    // sampling it triggers is itself thread-safe.)
     const bool allow_replan =
         delta_num_shards == 1 && !full.concurrent_probes();
     plan = GetOrBuildPlan(full, delta, norm_pos, time_binding.has_value(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/string_util.h"
+
 namespace chronolog {
 
 namespace {
@@ -77,6 +79,47 @@ Result<std::vector<std::vector<QueryValue>>> UnfoldAnswers(
   }
   std::sort(out.begin(), out.end(), RowLess);
   out.erase(std::unique(out.begin(), out.end(), RowEq), out.end());
+  return out;
+}
+
+std::string QueryAnswerToJson(const QueryAnswer& answer,
+                              const Vocabulary& vocab) {
+  std::string out = "{\"boolean\":";
+  out += answer.boolean ? "true" : "false";
+  out += ",\"free_vars\":[";
+  for (std::size_t i = 0; i < answer.free_var_names.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(answer.free_var_names[i]) +
+           "\",\"temporal\":";
+    out += answer.free_var_temporal[i] ? "true}" : "false}";
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < answer.rows.size(); ++r) {
+    if (r > 0) out += ",";
+    out += "[";
+    const auto& row = answer.rows[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      if (row[i].temporal) {
+        out += std::to_string(row[i].time);
+      } else {
+        out += "\"" + JsonEscape(vocab.ConstantName(row[i].constant)) + "\"";
+      }
+    }
+    out += "]";
+  }
+  out += "],\"rewrite\":";
+  if (answer.rewrite_lhs >= 0) {
+    out += "{\"lhs\":" + std::to_string(answer.rewrite_lhs) +
+           ",\"p\":" + std::to_string(answer.rewrite_p) + "}";
+  } else {
+    out += "null";
+  }
+  out += ",\"partial\":";
+  out += answer.partial ? "true" : "false";
+  out += ",\"truncated\":";
+  out += answer.truncated ? "true" : "false";
+  out += ",\"rows_returned\":" + std::to_string(answer.rows.size()) + "}";
   return out;
 }
 

@@ -27,6 +27,22 @@ namespace chronolog {
 Result<std::vector<std::vector<QueryValue>>> UnfoldAnswers(
     const QueryAnswer& answer, int64_t max_time);
 
+/// Renders `answer` as the chronolog_serve wire JSON (docs/SERVING.md):
+///
+///   {"boolean":true,
+///    "free_vars":[{"name":"T","temporal":true}],
+///    "rows":[[0],[2]],                 // numbers = temporal terms,
+///                                      // strings = constants
+///    "rewrite":{"lhs":4,"p":2},        // null over plain models
+///    "partial":false,"truncated":false,
+///    "rows_returned":2}
+///
+/// Temporal values are representative terms: together with "rewrite" each
+/// row finitely represents the possibly infinite original answer set
+/// (Section 3.3). No trailing newline.
+std::string QueryAnswerToJson(const QueryAnswer& answer,
+                              const Vocabulary& vocab);
+
 }  // namespace chronolog
 
 #endif  // CHRONOLOG_QUERY_ANSWERS_H_

@@ -18,15 +18,22 @@ class Evaluator {
   Evaluator(const Query& query,
             std::function<bool(const GroundAtom&)> oracle,
             std::vector<int64_t> temporal_domain,
-            std::vector<SymbolId> constant_domain, bool allow_equality)
+            std::vector<SymbolId> constant_domain, bool allow_equality,
+            std::optional<std::chrono::steady_clock::time_point> deadline =
+                std::nullopt)
       : query_(query),
         oracle_(std::move(oracle)),
         temporal_domain_(std::move(temporal_domain)),
         constant_domain_(std::move(constant_domain)),
         allow_equality_(allow_equality),
+        deadline_(deadline),
         values_(query.var_names.size()) {}
 
   const Status& error() const { return error_; }
+
+  /// The deadline fired: evaluation results since then are meaningless
+  /// (every atom reports false) and enumeration must stop.
+  bool aborted() const { return aborted_; }
 
   /// Binds a free variable before evaluation (row enumeration).
   void Bind(VarId v, QueryValue value) { values_[v] = value; }
@@ -34,6 +41,17 @@ class Evaluator {
   bool Eval(const QueryNode& node) {
     switch (node.kind) {
       case QueryKind::kAtom: {
+        // Deadline enforcement lives here, in the oracle-lookup loop: every
+        // connective and quantifier bottoms out in atoms, so an amortised
+        // clock check per lookup bounds how far past the deadline a runaway
+        // query can run. Once `aborted_`, atoms answer false immediately and
+        // the quantifier loops below bail out.
+        if (deadline_.has_value() && !aborted_ &&
+            (++lookup_ticks_ & 0x3F) == 0 &&
+            std::chrono::steady_clock::now() >= *deadline_) {
+          aborted_ = true;
+        }
+        if (aborted_) return false;
         GroundAtom atom;
         atom.pred = node.atom.pred;
         if (node.atom.temporal()) {
@@ -74,11 +92,13 @@ class Evaluator {
           for (int64_t t : temporal_domain_) {
             values_[node.var] = QueryValue{true, t, 0};
             if (Eval(*node.left) == exists) return exists;
+            if (aborted_) return false;
           }
         } else {
           for (SymbolId c : constant_domain_) {
             values_[node.var] = QueryValue{false, 0, c};
             if (Eval(*node.left) == exists) return exists;
+            if (aborted_) return false;
           }
         }
         return !exists;
@@ -111,6 +131,9 @@ class Evaluator {
   std::vector<int64_t> temporal_domain_;
   std::vector<SymbolId> constant_domain_;
   bool allow_equality_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  uint32_t lookup_ticks_ = 0;
+  bool aborted_ = false;
   std::vector<QueryValue> values_;
   Status error_;
 };
@@ -138,7 +161,8 @@ std::vector<SymbolId> ActiveConstants(const Query& query,
 }
 
 Result<QueryAnswer> Run(const Query& query, Evaluator evaluator,
-                        int64_t rewrite_lhs, int64_t rewrite_p) {
+                        int64_t rewrite_lhs, int64_t rewrite_p,
+                        uint64_t max_rows = 0) {
   QueryAnswer answer;
   answer.rewrite_lhs = rewrite_lhs;
   answer.rewrite_p = rewrite_p;
@@ -149,25 +173,46 @@ Result<QueryAnswer> Run(const Query& query, Evaluator evaluator,
   if (query.closed()) {
     answer.boolean = evaluator.Eval(*query.root);
     if (!evaluator.error().ok()) return evaluator.error();
+    if (evaluator.aborted()) {
+      answer.boolean = false;
+      answer.partial = true;
+    }
     return answer;
   }
 
   // Enumerate assignments of the free variables (product of the domains).
+  // `stop` short-circuits the recursion on a deadline abort or once the row
+  // cap is reached — rows already collected stay valid either way.
+  bool stop = false;
   std::vector<QueryValue> row(query.free_vars.size());
   std::function<void(std::size_t)> enumerate = [&](std::size_t i) {
+    if (stop) return;
     if (i == query.free_vars.size()) {
-      if (evaluator.Eval(*query.root)) answer.rows.push_back(row);
+      const bool satisfied = evaluator.Eval(*query.root);
+      if (evaluator.aborted()) {
+        stop = true;
+        return;  // the in-flight row was cut short; discard it
+      }
+      if (satisfied) {
+        answer.rows.push_back(row);
+        if (max_rows != 0 && answer.rows.size() >= max_rows) {
+          answer.truncated = true;
+          stop = true;
+        }
+      }
       return;
     }
     VarId v = query.free_vars[i];
     if (query.temporal_vars[v]) {
       for (int64_t t : evaluator.temporal_domain()) {
+        if (stop) return;
         row[i] = QueryValue{true, t, 0};
         evaluator.Bind(v, row[i]);
         enumerate(i + 1);
       }
     } else {
       for (SymbolId c : evaluator.constant_domain()) {
+        if (stop) return;
         row[i] = QueryValue{false, 0, c};
         evaluator.Bind(v, row[i]);
         enumerate(i + 1);
@@ -176,6 +221,7 @@ Result<QueryAnswer> Run(const Query& query, Evaluator evaluator,
   };
   enumerate(0);
   if (!evaluator.error().ok()) return evaluator.error();
+  answer.partial = evaluator.aborted();
   answer.boolean = !answer.rows.empty();
   return answer;
 }
@@ -216,12 +262,16 @@ Result<QueryAnswer> EvaluateQueryOverSpec(
   Histogram* answers_hist = nullptr;
   Counter* lookups = nullptr;
   Counter* rewrite_steps = nullptr;
+  Counter* deadline_exceeded = nullptr;
+  Counter* rows_truncated = nullptr;
   if (options.metrics != nullptr) {
     evaluations = options.metrics->counter("query.evaluations");
     latency_hist = options.metrics->histogram("query.latency_ns");
     answers_hist = options.metrics->histogram("query.answers");
     lookups = options.metrics->counter("query.oracle_lookups");
     rewrite_steps = options.metrics->counter("query.rewrite_steps");
+    deadline_exceeded = options.metrics->counter("query.deadline_exceeded");
+    rows_truncated = options.metrics->counter("query.rows_truncated");
   }
   if (evaluations != nullptr) evaluations->Add();
   TraceSpan span(options.trace, "query.eval");
@@ -246,13 +296,20 @@ Result<QueryAnswer> EvaluateQueryOverSpec(
   };
   Evaluator evaluator(query, oracle, std::move(temporal_domain),
                       ActiveConstants(query, spec.primary()),
-                      /*allow_equality=*/false);
+                      /*allow_equality=*/false, options.deadline);
   Result<QueryAnswer> answer = Run(query, std::move(evaluator),
-                                   spec.rewrite_lhs(), spec.period().p);
-  if (answers_hist != nullptr && answer.ok()) {
-    answers_hist->RecordValue(answer->free_var_names.empty()
-                                  ? (answer->boolean ? 1 : 0)
-                                  : answer->rows.size());
+                                   spec.rewrite_lhs(), spec.period().p,
+                                   options.max_rows);
+  if (answer.ok()) {
+    if (answers_hist != nullptr) {
+      answers_hist->RecordValue(answer->free_var_names.empty()
+                                    ? (answer->boolean ? 1 : 0)
+                                    : answer->rows.size());
+    }
+    if (deadline_exceeded != nullptr && answer->partial) {
+      deadline_exceeded->Add();
+    }
+    if (rows_truncated != nullptr && answer->truncated) rows_truncated->Add();
   }
   return answer;
 }

@@ -1,6 +1,9 @@
 #ifndef CHRONOLOG_QUERY_QUERY_EVAL_H_
 #define CHRONOLOG_QUERY_QUERY_EVAL_H_
 
+#include <chrono>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,9 +27,31 @@ class TraceBuffer;
 ///   query.oracle_lookups counter   ground-atom lookups against `B`
 ///   query.rewrite_steps counter    W-rule applications folded by
 ///                                  canonicalisation during those lookups
+///   query.deadline_exceeded counter  evaluations stopped by `deadline`
+///   query.rows_truncated counter     evaluations stopped by `max_rows`
 struct QueryEvalOptions {
   MetricsRegistry* metrics = nullptr;
   TraceBuffer* trace = nullptr;
+  /// Wall-clock cut-off for this evaluation. The check sits inside the
+  /// oracle-lookup loop (amortised: one clock read every 64 lookups), so a
+  /// runaway query stops mid-evaluation; the answer then carries
+  /// `QueryAnswer::partial` and holds only the rows completed before the
+  /// deadline. Unset = unlimited.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Row cap for open queries: enumeration stops once this many satisfying
+  /// assignments have been collected and the answer carries
+  /// `QueryAnswer::truncated`. 0 = unlimited.
+  uint64_t max_rows = 0;
+};
+
+/// Caller-facing limit knobs (the serving layer's per-query budget; see
+/// docs/SERVING.md). Converted into `QueryEvalOptions::deadline`/`max_rows`
+/// by `TemporalDatabase::Query` and the `POST /query` endpoint.
+struct QueryLimits {
+  /// Wall-clock budget; zero (the default) = unlimited.
+  std::chrono::milliseconds timeout{0};
+  /// Row cap for open queries; 0 = unlimited.
+  uint64_t max_rows = 0;
 };
 
 /// One value of a query answer: a ground temporal term (representative) or a
@@ -59,6 +84,14 @@ struct QueryAnswer {
   /// materialised model.
   int64_t rewrite_lhs = -1;
   int64_t rewrite_p = 0;
+  /// The deadline fired mid-evaluation: `rows` is a correct prefix of the
+  /// full answer set (every collected row satisfies the query) but possibly
+  /// incomplete, and for a closed query `boolean` is unreliable (reported
+  /// as false).
+  bool partial = false;
+  /// `max_rows` was reached: `rows` is exact but enumeration stopped, so
+  /// further satisfying assignments may exist.
+  bool truncated = false;
 
   std::string ToString(const Vocabulary& vocab) const;
 };

@@ -8,10 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 
 #include "util/log.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace chronolog {
@@ -21,8 +26,8 @@ namespace {
 /// Poll interval of the accept loops: the latency bound on Stop().
 constexpr int kAcceptPollMs = 100;
 
-/// Request read cap. The server only understands header-only GETs; anything
-/// larger is a client error (or abuse), not a request to buffer.
+/// Header-block read cap. Request lines plus headers larger than this are
+/// abuse, not a request to buffer; the body has its own configurable cap.
 constexpr std::size_t kMaxRequestBytes = 64 * 1024;
 
 const char* StatusText(int status) {
@@ -37,6 +42,20 @@ const char* StatusText(int status) {
       return "Method Not Allowed";
     case 408:
       return "Request Timeout";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Payload Too Large";
+    case 422:
+      return "Unprocessable Entity";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Error";
   }
@@ -66,6 +85,40 @@ void WriteResponse(int fd, const HttpResponse& response,
   if (!head_only) WriteAll(fd, response.body);
 }
 
+HttpResponse TextResponse(int status, std::string body) {
+  return HttpResponse{status, "text/plain; charset=utf-8", std::move(body)};
+}
+
+/// Scans the header block (the lines after the request line, exclusive of
+/// the terminating blank line) for Content-Length. Returns false when the
+/// header is absent or unparseable.
+bool FindContentLength(std::string_view headers, uint64_t* out) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    const std::string_view line = headers.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name(line.substr(0, colon));
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (name != "content-length") continue;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t' ||
+                              value.back() == '\r')) {
+      value.remove_suffix(1);
+    }
+    return ParseUint64(value, out);
+  }
+  return false;
+}
+
 }  // namespace
 
 HttpServer::HttpServer(HttpServerOptions options)
@@ -77,6 +130,10 @@ HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(std::string path, HttpHandler handler) {
   routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::HandlePost(std::string path, HttpHandler handler) {
+  post_routes_[std::move(path)] = std::move(handler);
 }
 
 Status HttpServer::Start() {
@@ -174,38 +231,74 @@ void HttpServer::AcceptLoop() {
   }
 }
 
+void HttpServer::Respond(int client_fd, const HttpResponse& response,
+                         bool head_only) {
+  WriteResponse(client_fd, response, head_only);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    const char* family = response.status >= 500   ? "serve.responses_5xx"
+                         : response.status >= 400 ? "serve.responses_4xx"
+                         : response.status >= 300 ? "serve.responses_3xx"
+                                                  : "serve.responses_2xx";
+    options_.metrics->counter(family)->Add();
+  }
+}
+
 void HttpServer::ServeConnection(int client_fd) {
   timeval timeout{};
   timeout.tv_sec = options_.read_timeout_ms / 1000;
   timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
   ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
-  // Read until the end of the header block; GETs have no body to consume.
+  // Read until the end of the header block; a POST body (if any) is read
+  // separately below, once Content-Length is known.
   std::string request;
   char buf[4096];
+  bool timed_out = false;
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < kMaxRequestBytes) {
     const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;  // SO_RCVTIMEO expired: the client stalled
+      break;
+    }
+    if (n <= 0) break;  // closed or hard error
     request.append(buf, static_cast<std::size_t>(n));
   }
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
 
-  const std::size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) {
-    WriteResponse(client_fd, {408, "text/plain; charset=utf-8",
-                              "request timeout or malformed request line\n"});
+  const std::size_t header_end = request.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    // The three truncation causes get distinct codes: a header block that
+    // hit the read cap is 431 (even if the peer would have sent more), a
+    // stalled client is 408, and a closed/garbled connection is 400. A
+    // connection that closed without sending anything gets no response at
+    // all — and is deliberately not counted as a request.
+    if (request.size() >= kMaxRequestBytes) {
+      Respond(client_fd,
+              TextResponse(431, "request header block exceeds " +
+                                    std::to_string(kMaxRequestBytes) +
+                                    " bytes\n"));
+      return;
+    }
+    if (timed_out) {
+      Respond(client_fd,
+              TextResponse(408, "timed out reading the request\n"));
+      return;
+    }
+    if (request.empty()) return;
+    Respond(client_fd, TextResponse(400, "incomplete request\n"));
     return;
   }
+
+  const std::size_t line_end = request.find("\r\n");
   const std::string line = request.substr(0, line_end);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = sp1 == std::string::npos
                               ? std::string::npos
                               : line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    WriteResponse(client_fd, {400, "text/plain; charset=utf-8",
-                              "malformed request line\n"});
+    Respond(client_fd, TextResponse(400, "malformed request line\n"));
     return;
   }
   HttpRequest parsed;
@@ -219,21 +312,85 @@ void HttpServer::ServeConnection(int client_fd) {
     parsed.query = target.substr(qmark + 1);
   }
 
-  if (parsed.method != "GET" && parsed.method != "HEAD") {
-    WriteResponse(client_fd, {405, "text/plain; charset=utf-8",
-                              "only GET is supported\n"});
+  if (parsed.method == "GET" || parsed.method == "HEAD") {
+    const auto it = routes_.find(parsed.path);
+    if (it == routes_.end()) {
+      if (post_routes_.count(parsed.path) != 0) {
+        Respond(client_fd,
+                TextResponse(405, "this route only accepts POST\n"));
+        return;
+      }
+      std::string known = "not found; routes:";
+      for (const auto& [path, handler] : routes_) known += " " + path;
+      for (const auto& [path, handler] : post_routes_) {
+        known += " POST:" + path;
+      }
+      Respond(client_fd, TextResponse(404, known + "\n"));
+      return;
+    }
+    Respond(client_fd, it->second(parsed),
+            /*head_only=*/parsed.method == "HEAD");
     return;
   }
-  const auto it = routes_.find(parsed.path);
-  if (it == routes_.end()) {
-    std::string known = "not found; routes:";
-    for (const auto& [path, handler] : routes_) known += " " + path;
-    WriteResponse(client_fd,
-                  {404, "text/plain; charset=utf-8", known + "\n"});
+
+  if (parsed.method != "POST") {
+    Respond(client_fd,
+            TextResponse(405, "only GET, HEAD and POST are supported\n"));
     return;
   }
-  const HttpResponse response = it->second(parsed);
-  WriteResponse(client_fd, response, /*head_only=*/parsed.method == "HEAD");
+
+  const auto it = post_routes_.find(parsed.path);
+  if (it == post_routes_.end()) {
+    if (routes_.count(parsed.path) != 0) {
+      Respond(client_fd, TextResponse(405, "this route only accepts GET\n"));
+      return;
+    }
+    std::string known = "not found; POST routes:";
+    for (const auto& [path, handler] : post_routes_) known += " " + path;
+    Respond(client_fd, TextResponse(404, known + "\n"));
+    return;
+  }
+
+  uint64_t content_length = 0;
+  if (!FindContentLength(
+          std::string_view(request).substr(line_end + 2,
+                                           header_end - line_end - 2),
+          &content_length)) {
+    Respond(client_fd,
+            TextResponse(411, "POST requires a Content-Length header\n"));
+    return;
+  }
+  if (content_length > options_.max_body_bytes) {
+    Respond(client_fd,
+            TextResponse(413, "request body exceeds " +
+                                  std::to_string(options_.max_body_bytes) +
+                                  " bytes\n"));
+    return;
+  }
+  // The header read loop may have pulled in a body prefix; keep exactly
+  // Content-Length bytes (anything beyond it on the wire is ignored — this
+  // server never pipelines, every response closes the connection).
+  parsed.body = request.substr(header_end + 4);
+  if (parsed.body.size() > content_length) parsed.body.resize(content_length);
+  while (parsed.body.size() < content_length) {
+    const std::size_t want = std::min(
+        sizeof(buf), static_cast<std::size_t>(content_length) -
+                         parsed.body.size());
+    const ssize_t n = ::recv(client_fd, buf, want, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Respond(client_fd,
+              TextResponse(408, "timed out reading the request body\n"));
+      return;
+    }
+    if (n <= 0) {
+      Respond(client_fd,
+              TextResponse(400, "request body shorter than Content-Length\n"));
+      return;
+    }
+    parsed.body.append(buf, static_cast<std::size_t>(n));
+  }
+  Respond(client_fd, it->second(parsed));
 }
 
 }  // namespace chronolog

@@ -2,6 +2,7 @@
 #define CHRONOLOG_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,14 +13,17 @@
 
 namespace chronolog {
 
+class MetricsRegistry;
 class ThreadPool;
 
 /// chronolog_serve — a minimal blocking HTTP/1.1 server for the
-/// observability endpoints (`/metrics`, `/healthz`, `/trace`). Scope is
-/// deliberately narrow: GET-only, `Connection: close` per request, loopback
-/// by default, no TLS, no third-party dependencies — enough for a
-/// Prometheus scraper, `curl`, or a health-checking supervisor, and nothing
-/// an internet-facing proxy should be pointed at directly.
+/// observability endpoints (`/metrics`, `/healthz`, `/trace`) and the query
+/// protocol (`POST /query`, see docs/SERVING.md). Scope is deliberately
+/// narrow: GET/HEAD plus explicitly registered POST routes,
+/// `Connection: close` per request, loopback by default, no TLS, no
+/// third-party dependencies — enough for a Prometheus scraper, `curl`, or a
+/// query client, and nothing an internet-facing proxy should be pointed at
+/// directly.
 ///
 /// Concurrency model: `Start()` binds and listens, then hands a bounded
 /// worker pool (`src/util/thread_pool.*`) one long-running accept loop per
@@ -28,11 +32,20 @@ class ThreadPool;
 /// listening fd with a short timeout between accepts, which is what lets
 /// `Stop()` terminate the loops without relying on platform-specific
 /// `shutdown(2)`-on-listener semantics.
-
+///
+/// Error responses the connection layer produces itself:
+///   400  malformed request line / header block
+///   404  no route for the path (the body lists the registered routes)
+///   405  method not supported by the route (or at all)
+///   408  the client stalled past the receive timeout mid-request
+///   411  POST without a Content-Length header
+///   413  POST body larger than `max_body_bytes`
+///   431  header block larger than the request read cap
 struct HttpRequest {
-  std::string method;  // "GET", "HEAD", ...
+  std::string method;  // "GET", "HEAD", "POST"
   std::string path;    // decoded-enough: the raw path, query string split off
   std::string query;   // text after '?', if any (not parsed further)
+  std::string body;    // POST payload (exactly Content-Length bytes)
 };
 
 struct HttpResponse {
@@ -55,6 +68,13 @@ struct HttpServerOptions {
   int num_workers = 2;
   /// Per-connection socket receive timeout while reading the request.
   int read_timeout_ms = 5000;
+  /// Cap on a POST body; larger payloads are refused with 413.
+  std::size_t max_body_bytes = 1 << 20;
+  /// Serve-level instruments (nullable, must outlive the server when set):
+  ///   serve.responses_2xx/4xx/5xx  counters  responses by status class
+  /// These count actual responses written back, not accepted connections —
+  /// a client that connects and sends nothing parseable counts nowhere.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class HttpServer {
@@ -65,9 +85,14 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers `handler` for exact-match `path`. Must be called before
-  /// Start(); routes are immutable while serving.
+  /// Registers `handler` for exact-match `path` under GET (and HEAD, which
+  /// reuses the GET handler minus the body). Must be called before Start();
+  /// routes are immutable while serving.
   void Handle(std::string path, HttpHandler handler);
+
+  /// Registers `handler` for exact-match `path` under POST. The request
+  /// body (up to `max_body_bytes`) is read before the handler runs.
+  void HandlePost(std::string path, HttpHandler handler);
 
   /// Binds, listens and spawns the worker pool. Fails with
   /// kUnavailable when the socket cannot be bound.
@@ -83,7 +108,9 @@ class HttpServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Requests served since Start (200s and error responses alike).
+  /// Responses actually written since Start (200s and error responses
+  /// alike). Connections that closed without producing a parseable request
+  /// line are not counted.
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
@@ -91,9 +118,14 @@ class HttpServer {
  private:
   void AcceptLoop();
   void ServeConnection(int client_fd);
+  /// Writes `response` and maintains requests_served_ plus the per-class
+  /// serve.responses_* counters. All responses funnel through here.
+  void Respond(int client_fd, const HttpResponse& response,
+               bool head_only = false);
 
   HttpServerOptions options_;
-  std::map<std::string, HttpHandler> routes_;
+  std::map<std::string, HttpHandler> routes_;       // GET/HEAD
+  std::map<std::string, HttpHandler> post_routes_;  // POST
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};

@@ -1,0 +1,196 @@
+#include "serve/query_endpoints.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "query/answers.h"
+#include "query/query_eval.h"
+#include "query/query_parser.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace chronolog {
+
+namespace {
+
+HttpResponse JsonError(int status, const std::string& message,
+                       const std::string& extra = "") {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":\"" + JsonEscape(message) + "\"" + extra + "}\n";
+  return response;
+}
+
+/// HTTP status for a failed evaluation: client-side errors (a query the
+/// engine rejects by design, e.g. equality over a spec) map to 400,
+/// engine-side budget exhaustion to 503, anything else is a 500.
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnimplemented:
+      return 400;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+}  // namespace
+
+void RegisterQueryEndpoints(HttpServer& server,
+                            const DatabaseRegistry* registry,
+                            QueryServiceOptions options) {
+  // Admission state shared by every request; the handler outlives this
+  // function, so the counter lives on the heap behind a shared_ptr.
+  auto in_flight = std::make_shared<std::atomic<int>>(0);
+
+  server.HandlePost("/query", [registry, options,
+                               in_flight](const HttpRequest& request) {
+    // Admission control first: shedding load must stay O(1) even when the
+    // pool is saturated with slow queries.
+    if (options.max_in_flight > 0) {
+      const int occupied =
+          in_flight->fetch_add(1, std::memory_order_acq_rel);
+      if (occupied >= options.max_in_flight) {
+        in_flight->fetch_sub(1, std::memory_order_acq_rel);
+        if (options.metrics != nullptr) {
+          options.metrics->counter("query.rejected")->Add();
+        }
+        return JsonError(429, "too many queries in flight",
+                         ",\"max_in_flight\":" +
+                             std::to_string(options.max_in_flight));
+      }
+    }
+    struct Release {
+      std::atomic<int>* counter;
+      bool armed;
+      ~Release() {
+        if (armed) counter->fetch_sub(1, std::memory_order_acq_rel);
+      }
+    } release{in_flight.get(), options.max_in_flight > 0};
+
+    Result<JsonValue> body = ParseJson(request.body);
+    if (!body.ok()) {
+      return JsonError(400, body.status().message());
+    }
+    if (!body->is_object()) {
+      return JsonError(400, "request body must be a JSON object");
+    }
+    const JsonValue* query_field = body->Find("query");
+    if (query_field == nullptr || !query_field->is_string()) {
+      return JsonError(400, "missing string field \"query\"");
+    }
+    std::string database = "default";
+    if (const JsonValue* db = body->Find("database"); db != nullptr) {
+      if (!db->is_string()) {
+        return JsonError(400, "\"database\" must be a string");
+      }
+      database = db->string_value;
+    }
+
+    const DatabaseRegistry::Entry* entry = registry->Find(database);
+    if (entry == nullptr) {
+      std::string known = ",\"databases\":[";
+      bool first = true;
+      for (const std::string& name : registry->names()) {
+        if (!first) known += ",";
+        known += "\"" + JsonEscape(name) + "\"";
+        first = false;
+      }
+      known += "]";
+      return JsonError(404, "unknown database '" + database + "'", known);
+    }
+
+    // Per-query limits: the client can tighten the service defaults but
+    // never exceed the configured caps.
+    std::chrono::milliseconds timeout = options.default_timeout;
+    if (const JsonValue* v = body->Find("deadline_ms"); v != nullptr) {
+      if (!v->is_number() || !v->is_integer || v->int_value <= 0) {
+        return JsonError(400, "\"deadline_ms\" must be a positive integer");
+      }
+      timeout = std::chrono::milliseconds(v->int_value);
+    }
+    if (options.max_timeout.count() > 0 &&
+        (timeout.count() <= 0 || timeout > options.max_timeout)) {
+      timeout = options.max_timeout;
+    }
+    uint64_t max_rows = options.default_max_rows;
+    if (const JsonValue* v = body->Find("max_rows"); v != nullptr) {
+      if (!v->is_number() || !v->is_integer || v->int_value < 0) {
+        return JsonError(400, "\"max_rows\" must be a non-negative integer");
+      }
+      max_rows = static_cast<uint64_t>(v->int_value);
+    }
+    if (options.max_rows_cap != 0 &&
+        (max_rows == 0 || max_rows > options.max_rows_cap)) {
+      max_rows = options.max_rows_cap;
+    }
+
+    const Vocabulary& vocab = entry->tdd.vocab();
+    Result<Query> parsed = ParseQuery(query_field->string_value, vocab);
+    if (!parsed.ok()) {
+      return JsonError(400, parsed.status().ToString());
+    }
+
+    QueryEvalOptions eval_options;
+    eval_options.metrics = entry->tdd.metrics();
+    eval_options.trace = entry->tdd.trace();
+    if (timeout.count() > 0) {
+      eval_options.deadline = std::chrono::steady_clock::now() + timeout;
+    }
+    eval_options.max_rows = max_rows;
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<QueryAnswer> answer =
+        EvaluateQueryOverSpec(parsed.value(), *entry->spec, eval_options);
+    if (!answer.ok()) {
+      return JsonError(StatusToHttp(answer.status()),
+                       answer.status().ToString());
+    }
+    const double eval_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+    HttpResponse response;
+    response.content_type = "application/json";
+    // Splice the request context into the answer document (the renderer
+    // emits a complete object; drop its opening brace).
+    std::string answer_json = QueryAnswerToJson(*answer, vocab);
+    response.body = "{\"database\":\"" + JsonEscape(database) +
+                    "\",\"eval_ms\":" + std::to_string(eval_ms) + "," +
+                    answer_json.substr(1) + "\n";
+    return response;
+  });
+
+  server.Handle("/databases", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::string body = "{\"databases\":[";
+    bool first = true;
+    for (const std::string& name : registry->names()) {
+      const DatabaseRegistry::Entry* entry = registry->Find(name);
+      if (entry == nullptr) continue;
+      if (!first) body += ",";
+      first = false;
+      body += "{\"name\":\"" + JsonEscape(name) + "\"";
+      body += ",\"facts\":" + std::to_string(entry->spec->SizeInFacts());
+      body += ",\"representatives\":" +
+              std::to_string(entry->spec->num_representatives());
+      body += ",\"period_b\":" + std::to_string(entry->spec->period().b);
+      body += ",\"period_p\":" + std::to_string(entry->spec->period().p);
+      body += ",\"rewrite_lhs\":" +
+              std::to_string(entry->spec->rewrite_lhs()) + "}";
+    }
+    body += "]}\n";
+    response.body = std::move(body);
+    return response;
+  });
+}
+
+}  // namespace chronolog

@@ -1,0 +1,72 @@
+#include "serve/registry.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace chronolog {
+
+Status DatabaseRegistry::Add(std::string name, TemporalDatabase tdd) {
+  if (name.empty()) {
+    return InvalidArgumentError("DatabaseRegistry: empty database name");
+  }
+  // Compile before taking the lock: spec builds can be seconds of work and
+  // registration is the only writer path.
+  Result<const RelationalSpecification*> spec = tdd.specification();
+  if (!spec.ok()) return spec.status();
+  auto entry = std::make_unique<Entry>(name, std::move(tdd));
+  // The engine owns (and caches) the specification; moving the engine moves
+  // the cache, so re-fetch the pointer from its final resting place.
+  entry->spec = entry->tdd.specification().value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  if (!inserted) {
+    return FailedPreconditionError("DatabaseRegistry: duplicate database '" +
+                                   name + "'");
+  }
+  return Status();
+}
+
+Status DatabaseRegistry::AddFromSource(std::string name,
+                                       std::string_view source,
+                                       EngineOptions options) {
+  // Serving without instruments would leave `POST /query` invisible to
+  // `/metrics`; registration is the natural place to default them on.
+  options.collect_metrics = true;
+  Result<TemporalDatabase> tdd = TemporalDatabase::FromSource(source, options);
+  if (!tdd.ok()) return tdd.status();
+  return Add(std::move(name), std::move(tdd).value());
+}
+
+Status DatabaseRegistry::AddFromFile(std::string name, const std::string& path,
+                                     EngineOptions options) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("DatabaseRegistry: cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return AddFromSource(std::move(name), buffer.str(), options);
+}
+
+const DatabaseRegistry::Entry* DatabaseRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DatabaseRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t DatabaseRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace chronolog

@@ -1,0 +1,69 @@
+#ifndef CHRONOLOG_SERVE_REGISTRY_H_
+#define CHRONOLOG_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace chronolog {
+
+/// A named collection of engines behind one server — the multi-session side
+/// of chronolog_serve. Every entry is registered with its relational
+/// specification `(T, B, W)` already compiled, so the serving hot path
+/// (`POST /query` → parse → EvaluateQueryOverSpec) touches only const,
+/// concurrently-readable state; the compiled spec is shared by every
+/// request against that database.
+///
+/// Thread-safety: Add*/Find/names may be called concurrently. Entries are
+/// never removed or replaced, so the `Entry*` returned by Find stays valid
+/// (and its spec immutable) for the registry's lifetime — handlers hold it
+/// across a request without further locking.
+class DatabaseRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    TemporalDatabase tdd;
+    /// The compiled specification, owned by `tdd` (cached there); never
+    /// null for a registered entry.
+    const RelationalSpecification* spec = nullptr;
+
+    Entry(std::string n, TemporalDatabase db)
+        : name(std::move(n)), tdd(std::move(db)) {}
+  };
+
+  /// Registers `tdd` under `name`, compiling its specification eagerly (the
+  /// expensive part of registration; can fail with kResourceExhausted like
+  /// any spec build). Fails with kFailedPrecondition on a duplicate name.
+  Status Add(std::string name, TemporalDatabase tdd);
+
+  /// Parses `source` into an engine (metrics collection on, so the per-
+  /// database `query.*` family is live) and registers it.
+  Status AddFromSource(std::string name, std::string_view source,
+                       EngineOptions options = {});
+
+  /// Loads `path` (a `.tdl` program) and registers it.
+  Status AddFromFile(std::string name, const std::string& path,
+                     EngineOptions options = {});
+
+  /// Looks up a database; nullptr when `name` is not registered.
+  const Entry* Find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_SERVE_REGISTRY_H_

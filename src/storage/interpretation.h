@@ -155,9 +155,10 @@ class Interpretation {
   void SetConcurrentProbes(bool enabled);
 
   /// True while concurrent-probe mode is on. The join planner uses this as
-  /// a "parallel phase in progress" signal: re-planning samples column
-  /// statistics (Relation::DistinctInColumn mutates a cache), which is only
-  /// safe while evaluation is single-threaded.
+  /// a "parallel phase in progress" signal: re-planning swaps the cached
+  /// JoinPlan in place, which is only safe while evaluation is
+  /// single-threaded. (Sampling column statistics is not the issue —
+  /// Relation::DistinctInColumn synchronises internally.)
   bool concurrent_probes() const { return probe_mu_ != nullptr; }
 
  private:

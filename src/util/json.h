@@ -1,0 +1,52 @@
+#ifndef CHRONOLOG_UTIL_JSON_H_
+#define CHRONOLOG_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace chronolog {
+
+/// A parsed JSON value — the request side of the chronolog_serve wire
+/// protocol (`POST /query`, docs/SERVING.md). Deliberately minimal: one
+/// variant struct, no DOM mutation API, no serialiser (responses are built
+/// with JsonEscape directly). Numbers keep both representations: integral
+/// literals (no '.', 'e', or overflow) are exact in `int_value`, everything
+/// is available as `double`.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  int64_t int_value = 0;
+  bool is_integer = false;  // int_value is exact (kNumber only)
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Members in source order; duplicate keys are kept (Find returns the
+  /// first, matching common lenient-parser behaviour).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses strict JSON (RFC 8259): one top-level value, UTF-8, `\uXXXX`
+/// escapes (surrogate pairs included), no trailing garbage, nesting capped
+/// at 64 levels. Errors carry kInvalidArgument with a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_UTIL_JSON_H_

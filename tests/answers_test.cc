@@ -4,6 +4,7 @@
 #include "eval/fixpoint.h"
 #include "query/answers.h"
 #include "query/query_parser.h"
+#include "util/json.h"
 #include "spec/specification.h"
 #include "workload/generators.h"
 
@@ -115,6 +116,51 @@ TEST(AnswersTest, MaxTimeBelowRowTimeYieldsNothing) {
   auto unfolded = UnfoldAnswers(answer, 5);
   ASSERT_TRUE(unfolded.ok());
   EXPECT_TRUE(unfolded->empty());
+}
+
+// --------------------------------------------------------------------------
+// Wire JSON rendering (POST /query responses)
+// --------------------------------------------------------------------------
+
+TEST(AnswersJsonTest, OpenAnswerRendersRowsAndRewrite) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "even(X)");
+  const std::string json = QueryAnswerToJson(answer, unit.program.vocab());
+  // The Section 3.3 example: X = 0 under rewrite 2 -> 0.
+  EXPECT_EQ(json,
+            "{\"boolean\":true,"
+            "\"free_vars\":[{\"name\":\"X\",\"temporal\":true}],"
+            "\"rows\":[[0]],"
+            "\"rewrite\":{\"lhs\":2,\"p\":2},"
+            "\"partial\":false,\"truncated\":false,"
+            "\"rows_returned\":1}");
+}
+
+TEST(AnswersJsonTest, ClosedAnswerHasEmptyRows) {
+  ParsedUnit unit = MustParse(workload::EvenSource());
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer yes = MustAnswer(unit, *spec, "even(4)");
+  const std::string json = QueryAnswerToJson(yes, unit.program.vocab());
+  EXPECT_NE(json.find("\"boolean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"free_vars\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rows\":[]"), std::string::npos) << json;
+}
+
+TEST(AnswersJsonTest, ConstantsRenderAsStrings) {
+  ParsedUnit unit = MustParse(workload::SkiScheduleSource(2, 12, 4, 1));
+  auto spec = BuildSpecification(unit.program, unit.database);
+  ASSERT_TRUE(spec.ok());
+  QueryAnswer answer = MustAnswer(unit, *spec, "plane(0, X)");
+  const std::string json = QueryAnswerToJson(answer, unit.program.vocab());
+  EXPECT_NE(json.find("\"resort0\""), std::string::npos) << json;
+  // The parse-back property: the wire document is valid JSON.
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->Find("boolean")->is_bool());
+  EXPECT_TRUE(parsed->Find("rows")->is_array());
 }
 
 }  // namespace

@@ -77,6 +77,24 @@ TEST(EngineTest, AskBtWithExplicitRange) {
   EXPECT_TRUE(*answer);
 }
 
+TEST(EngineTest, QueryLimitsFlowThroughTheFacade) {
+  TemporalDatabase tdd = MustEngine(R"(
+    tick(0).
+    tick(T+128) :- tick(T).
+  )");
+  QueryLimits limits;
+  limits.max_rows = 3;
+  auto answer = tdd.Query("tick(T) | ~tick(T)", limits);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->truncated);
+  EXPECT_EQ(answer->rows.size(), 3u);
+  // Default limits stay unlimited.
+  auto full = tdd.Query("tick(T) | ~tick(T)");
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated);
+  EXPECT_GT(full->rows.size(), 3u);
+}
+
 TEST(EngineTest, QueryOnUnknownPredicateFails) {
   TemporalDatabase tdd = MustEngine(workload::EvenSource());
   EXPECT_EQ(tdd.Ask("odd(1)").status().code(), StatusCode::kNotFound);

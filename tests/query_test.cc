@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "ast/parser.h"
 #include "eval/fixpoint.h"
 #include "query/query_eval.h"
+#include "util/metrics.h"
 #include "query/query_parser.h"
 #include "spec/specification.h"
 #include "workload/generators.h"
@@ -181,6 +184,113 @@ TEST_F(QueryEvalTest, AnswerToStringMentionsRewrite) {
   std::string text = answer.ToString(unit_.program.vocab());
   EXPECT_NE(text.find("X = 0"), std::string::npos) << text;
   EXPECT_NE(text.find("2 -> 0"), std::string::npos) << text;
+}
+
+// --------------------------------------------------------------------------
+// Per-query limits: deadlines and row caps (QueryEvalOptions)
+// --------------------------------------------------------------------------
+
+// A program whose period is large enough that evaluation performs well over
+// 64 oracle lookups (the deadline is checked every 64), so an expired
+// deadline reliably aborts mid-query.
+constexpr char kWidePeriodSource[] = R"(
+  tick(0).
+  tick(T+128) :- tick(T).
+)";
+
+class QueryLimitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unit_ = MustParse(kWidePeriodSource);
+    auto spec = BuildSpecification(unit_.program, unit_.database);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    spec_.emplace(std::move(spec).value());
+  }
+  QueryAnswer EvalWith(std::string_view text, QueryEvalOptions options) {
+    auto q = ParseQuery(text, unit_.program.vocab());
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto a = EvaluateQueryOverSpec(*q, *spec_, options);
+    EXPECT_TRUE(a.ok()) << a.status();
+    return std::move(a).value();
+  }
+  ParsedUnit unit_{Program(nullptr), Database(nullptr)};
+  std::optional<RelationalSpecification> spec_;
+};
+
+TEST_F(QueryLimitsTest, NoLimitsMeansCompleteAnswers) {
+  QueryAnswer answer = EvalWith("exists T (tick(T))", {});
+  EXPECT_TRUE(answer.boolean);
+  EXPECT_FALSE(answer.partial);
+  EXPECT_FALSE(answer.truncated);
+}
+
+TEST_F(QueryLimitsTest, ExpiredDeadlineMarksClosedAnswerPartial) {
+  QueryEvalOptions options;
+  options.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  // A forall over a tautology must visit every representative (no
+  // short-circuit), so the 64-lookup deadline check fires mid-evaluation.
+  // Without the deadline this is true; the aborted evaluation must not
+  // claim a definite answer — `partial` says the boolean is unreliable.
+  QueryAnswer answer = EvalWith("forall T (tick(T) | ~tick(T))", options);
+  EXPECT_TRUE(answer.partial);
+  EXPECT_FALSE(answer.boolean);
+}
+
+TEST_F(QueryLimitsTest, ExpiredDeadlineMarksOpenAnswerPartial) {
+  QueryEvalOptions options;
+  options.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  QueryAnswer answer = EvalWith("tick(T) | ~tick(T)", options);
+  EXPECT_TRUE(answer.partial);
+  // Whatever rows were collected before the abort are a correct prefix of
+  // the unlimited answer (every representative satisfies the tautology).
+  QueryAnswer full = EvalWith("tick(T) | ~tick(T)", {});
+  EXPECT_FALSE(full.partial);
+  EXPECT_LT(answer.rows.size(), full.rows.size());
+}
+
+TEST_F(QueryLimitsTest, FutureDeadlineDoesNotFire) {
+  QueryEvalOptions options;
+  options.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  QueryAnswer answer = EvalWith("forall T (tick(T) | ~tick(T))", options);
+  EXPECT_FALSE(answer.partial);
+  EXPECT_TRUE(answer.boolean);
+}
+
+TEST_F(QueryLimitsTest, MaxRowsTruncatesOpenAnswers) {
+  QueryEvalOptions options;
+  options.max_rows = 5;
+  // The tautology holds at every representative, so the row stream is long
+  // enough to hit the cap.
+  QueryAnswer answer = EvalWith("tick(T) | ~tick(T)", options);
+  EXPECT_TRUE(answer.truncated);
+  EXPECT_FALSE(answer.partial);
+  EXPECT_EQ(answer.rows.size(), 5u);
+  // The truncated rows are a prefix of the full answer.
+  QueryAnswer full = EvalWith("tick(T) | ~tick(T)", {});
+  ASSERT_GE(full.rows.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(answer.rows[i][0].time, full.rows[i][0].time);
+  }
+}
+
+TEST_F(QueryLimitsTest, MaxRowsAboveAnswerSizeIsNotTruncation) {
+  QueryEvalOptions options;
+  options.max_rows = 100000;
+  QueryAnswer answer = EvalWith("tick(T)", options);
+  EXPECT_FALSE(answer.truncated);
+}
+
+TEST_F(QueryLimitsTest, LimitCountersAreRecorded) {
+  MetricsRegistry metrics;
+  QueryEvalOptions options;
+  options.metrics = &metrics;
+  options.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  (void)EvalWith("forall T (tick(T) | ~tick(T))", options);
+  EXPECT_EQ(metrics.counter("query.deadline_exceeded")->value(), 1u);
+  options.deadline.reset();
+  options.max_rows = 3;
+  (void)EvalWith("tick(T) | ~tick(T)", options);
+  EXPECT_EQ(metrics.counter("query.rows_truncated")->value(), 1u);
 }
 
 // --------------------------------------------------------------------------

@@ -18,6 +18,10 @@
 #include "core/engine.h"
 #include "serve/http_server.h"
 #include "serve/obs_endpoints.h"
+#include "serve/query_endpoints.h"
+#include "serve/registry.h"
+#include "util/json.h"
+#include "util/metrics.h"
 
 namespace chronolog {
 namespace {
@@ -54,6 +58,43 @@ std::string RawRequest(int port, const std::string& request) {
 
 std::string Get(int port, const std::string& path) {
   return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string Post(int port, const std::string& path, const std::string& body) {
+  return RawRequest(port, "POST " + path + " HTTP/1.1\r\nHost: t\r\n" +
+                              "Content-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+/// Like RawRequest, but half-closes the write side after sending — the
+/// server sees EOF instead of waiting out its receive timeout.
+std::string RawRequestThenEof(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 TEST(HttpServerTest, ServesRegisteredRouteOnEphemeralPort) {
@@ -213,6 +254,320 @@ TEST(ObsEndpointsTest, NullSinksDegradeGracefully) {
   const std::string trace = Get(server.port(), "/trace");
   EXPECT_NE(trace.find("\"traceEvents\":[]"), std::string::npos);
   server.Stop();
+}
+
+// --------------------------------------------------------------------------
+// Protocol-level status codes (the PR's 431/408/400 and counting fixes)
+// --------------------------------------------------------------------------
+
+TEST(HttpProtocolTest, OversizedHeaderBlockIs431) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  // Exactly the 64 KiB read cap, no terminator: the server must refuse the
+  // request instead of serving a truncated parse of it. Sending no more
+  // than the cap also means the server drains everything we wrote, so the
+  // close after the 431 is a clean FIN and the response survives.
+  std::string huge = "GET /x HTTP/1.1\r\nX-Filler: ";
+  huge.resize(64 * 1024, 'a');
+  const std::string response = RawRequest(server.port(), huge);
+  EXPECT_NE(response.find("HTTP/1.1 431"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, StalledClientIs408NotBadRequest) {
+  HttpServerOptions options;
+  options.read_timeout_ms = 200;
+  HttpServer server(options);
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  // Send half a request and keep the connection open: the receive timeout
+  // fires and the server must say "timeout", not "malformed".
+  const std::string response =
+      RawRequest(server.port(), "GET /x HTTP/1.1\r\nHost: t\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, TruncatedRequestIs400) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  // Half a request followed by EOF is a malformed request, not a timeout.
+  const std::string response =
+      RawRequestThenEof(server.port(), "GET /x HTTP/1.1\r\nHost: t\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, ResponsesAreCountedNotConnections) {
+  MetricsRegistry metrics;
+  HttpServerOptions options;
+  options.metrics = &metrics;
+  HttpServer server(options);
+  server.Handle("/ok", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "fine";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server.port(), "/ok").find("200"), std::string::npos);
+  EXPECT_NE(Get(server.port(), "/nope").find("404"), std::string::npos);
+  // A connection that sends nothing must not count as a served request.
+  EXPECT_TRUE(RawRequestThenEof(server.port(), "").empty());
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(metrics.counter("serve.responses_2xx")->value(), 1u);
+  EXPECT_EQ(metrics.counter("serve.responses_4xx")->value(), 1u);
+  EXPECT_EQ(metrics.counter("serve.responses_5xx")->value(), 0u);
+}
+
+TEST(HttpProtocolTest, PostRequiresContentLength) {
+  HttpServer server;
+  server.HandlePost("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequestThenEof(
+      server.port(), "POST /p HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 411"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, OversizedBodyIs413) {
+  HttpServerOptions options;
+  options.max_body_bytes = 64;
+  HttpServer server(options);
+  server.HandlePost("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      Post(server.port(), "/p", std::string(1000, 'x'));
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, MethodRouteMismatchIs405) {
+  HttpServer server;
+  server.Handle("/get-only", [](const HttpRequest&) { return HttpResponse{}; });
+  server.HandlePost("/post-only",
+                    [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string post = Post(server.port(), "/get-only", "{}");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+  EXPECT_NE(post.find("GET"), std::string::npos);
+  const std::string get = Get(server.port(), "/post-only");
+  EXPECT_NE(get.find("HTTP/1.1 405"), std::string::npos) << get;
+  EXPECT_NE(get.find("POST"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, PostBodyReachesHandler) {
+  HttpServer server;
+  server.HandlePost("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "got:" + request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Post(server.port(), "/echo", "hello body");
+  EXPECT_NE(response.find("got:hello body"), std::string::npos) << response;
+  server.Stop();
+}
+
+// --------------------------------------------------------------------------
+// The query protocol: POST /query over a DatabaseRegistry
+// --------------------------------------------------------------------------
+
+class QueryEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_
+                    .AddFromSource("default", R"(
+                      tick(0).
+                      tick(T+128) :- tick(T).
+                    )")
+                    .ok());
+  }
+  /// Starts a server with the query endpoints and returns its port.
+  int StartServer(QueryServiceOptions options = {}) {
+    server_ = std::make_unique<HttpServer>();
+    RegisterQueryEndpoints(*server_, &registry_, options);
+    EXPECT_TRUE(server_->Start().ok());
+    return server_->port();
+  }
+  static std::string Body(const std::string& response) {
+    const std::size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? "" : response.substr(split + 4);
+  }
+  DatabaseRegistry registry_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(QueryEndpointTest, RoundTripReturnsRowsAndRewrite) {
+  const int port = StartServer();
+  const std::string response =
+      Post(port, "/query", R"j({"query":"tick(T)"})j");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << json.status() << "\n" << response;
+  EXPECT_EQ(json->Find("database")->string_value, "default");
+  EXPECT_TRUE(json->Find("boolean")->bool_value);
+  ASSERT_TRUE(json->Find("rows")->is_array());
+  ASSERT_EQ(json->Find("rows")->array.size(), 1u);
+  EXPECT_EQ(json->Find("rows")->array[0].array[0].int_value, 0);
+  EXPECT_EQ(json->Find("rewrite")->Find("p")->int_value, 128);
+  EXPECT_FALSE(json->Find("partial")->bool_value);
+  EXPECT_FALSE(json->Find("truncated")->bool_value);
+  EXPECT_GE(json->Find("eval_ms")->number, 0.0);
+}
+
+TEST_F(QueryEndpointTest, MalformedJsonIs400) {
+  const int port = StartServer();
+  EXPECT_NE(Post(port, "/query", "{oops").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(Post(port, "/query", "[1,2]").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(Post(port, "/query", R"j({"no_query":1})j").find("HTTP/1.1 400"),
+            std::string::npos);
+  // A well-formed request with an unparseable query is also the client's
+  // fault.
+  EXPECT_NE(
+      Post(port, "/query", R"j({"query":"unknown_pred(T)"})j")
+          .find("HTTP/1.1 400"),
+      std::string::npos);
+}
+
+TEST_F(QueryEndpointTest, UnknownDatabaseIs404AndListsKnownOnes) {
+  const int port = StartServer();
+  const std::string response =
+      Post(port, "/query", R"j({"query":"tick(T)","database":"missing"})j");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"default\""), std::string::npos) << response;
+}
+
+TEST_F(QueryEndpointTest, MaxRowsTruncatesAndSaysSo) {
+  const int port = StartServer();
+  const std::string response = Post(
+      port, "/query", R"j({"query":"tick(T) | ~tick(T)","max_rows":2})j");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_TRUE(json->Find("truncated")->bool_value);
+  EXPECT_EQ(json->Find("rows")->array.size(), 2u);
+  EXPECT_EQ(json->Find("rows_returned")->int_value, 2);
+}
+
+TEST_F(QueryEndpointTest, DeadlineMarksAnswerPartial) {
+  // A second database whose representative segment is wide enough that the
+  // quantifier product below costs well over a millisecond.
+  ASSERT_TRUE(registry_
+                  .AddFromSource("slow", R"(
+                    tick(0).
+                    tick(T+1024) :- tick(T).
+                  )")
+                  .ok());
+  const int port = StartServer();
+  // `forall` cannot short-circuit over a tautology, so the evaluation is a
+  // full ~1k x ~1k quantifier product — far more than a millisecond.
+  const std::string response = Post(
+      port, "/query",
+      R"j({"query":"forall T (forall S (tick(S) | ~tick(S) | tick(T)))",)j"
+      R"j("database":"slow","deadline_ms":1})j");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_TRUE(json->Find("partial")->bool_value) << Body(response);
+}
+
+TEST_F(QueryEndpointTest, InvalidLimitsAre400) {
+  const int port = StartServer();
+  EXPECT_NE(
+      Post(port, "/query", R"j({"query":"tick(T)","deadline_ms":-5})j")
+          .find("HTTP/1.1 400"),
+      std::string::npos);
+  EXPECT_NE(
+      Post(port, "/query", R"j({"query":"tick(T)","deadline_ms":"soon"})j")
+          .find("HTTP/1.1 400"),
+      std::string::npos);
+  EXPECT_NE(Post(port, "/query", R"j({"query":"tick(T)","max_rows":-1})j")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(QueryEndpointTest, DatabasesEndpointListsRegistry) {
+  ASSERT_TRUE(registry_.AddFromSource("even", "even(0). even(T+2) :- even(T).")
+                  .ok());
+  const int port = StartServer();
+  const std::string response = Get(port, "/databases");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << response;
+  const JsonValue* dbs = json->Find("databases");
+  ASSERT_NE(dbs, nullptr);
+  ASSERT_EQ(dbs->array.size(), 2u);
+  EXPECT_EQ(dbs->array[0].Find("name")->string_value, "default");
+  EXPECT_EQ(dbs->array[1].Find("name")->string_value, "even");
+  EXPECT_EQ(dbs->array[1].Find("period_p")->int_value, 2);
+}
+
+TEST_F(QueryEndpointTest, RegistryRejectsDuplicatesAndBadPrograms) {
+  EXPECT_EQ(registry_.AddFromSource("default", "p(0).").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry_.AddFromSource("bad", "p(X).").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry_.AddFromFile("missing", "/no/such/file.tdl").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry_.size(), 1u);
+  EXPECT_EQ(registry_.Find("bad"), nullptr);
+}
+
+// Matches the TSan ctest filter ('Parallel'): a flood of concurrent slow
+// queries against a single admission slot must shed load with 429s while
+// still serving at least one query, and the rejection must be counted.
+TEST(QueryEndpointParallelTest, FloodShedsWith429) {
+  DatabaseRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddFromSource("default", R"(
+                    tick(0).
+                    tick(T+1024) :- tick(T).
+                  )")
+                  .ok());
+  MetricsRegistry metrics;
+  HttpServerOptions server_options;
+  server_options.num_workers = 4;
+  HttpServer server(server_options);
+  QueryServiceOptions options;
+  options.max_in_flight = 1;
+  options.metrics = &metrics;
+  // Each query costs tens of milliseconds (quadratic quantifier product
+  // over ~1k representatives), so concurrent requests overlap reliably.
+  options.default_timeout = std::chrono::milliseconds(2000);
+  RegisterQueryEndpoints(server, &registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&ok, &rejected, port = server.port()] {
+      const std::string response = Post(
+          port, "/query",
+          R"j({"query":"forall T (forall S (tick(S) | ~tick(S) | tick(T)))"})j");
+      if (response.find("HTTP/1.1 200") != std::string::npos) {
+        ok.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.find("HTTP/1.1 429") != std::string::npos) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(ok.load() + rejected.load(), kClients);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(rejected.load(), 1);
+  EXPECT_EQ(metrics.counter("query.rejected")->value(),
+            static_cast<uint64_t>(rejected.load()));
 }
 
 }  // namespace

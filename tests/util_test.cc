@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/hash.h"
+#include "util/json.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -189,6 +190,83 @@ TEST(HashTest, VectorHashDistinguishesLength) {
   std::vector<uint32_t> a{1};
   std::vector<uint32_t> b{1, 0};
   EXPECT_NE(h(a), h(b));
+}
+
+// --------------------------------------------------------------------------
+// JSON parser (the POST /query request side)
+// --------------------------------------------------------------------------
+
+TEST(JsonParserTest, ScalarsAndWhitespace) {
+  auto v = ParseJson("  true ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->bool_value);
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_FALSE(ParseJson("false")->bool_value);
+}
+
+TEST(JsonParserTest, NumbersKeepIntegralExactness) {
+  auto i = ParseJson("42");
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE(i->is_number());
+  EXPECT_TRUE(i->is_integer);
+  EXPECT_EQ(i->int_value, 42);
+  auto neg = ParseJson("-7");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->int_value, -7);
+  auto d = ParseJson("2.5e1");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->is_integer);
+  EXPECT_DOUBLE_EQ(d->number, 25.0);
+  // Leading zeros are not JSON.
+  EXPECT_FALSE(ParseJson("012").ok());
+}
+
+TEST(JsonParserTest, StringsWithEscapes) {
+  auto v = ParseJson(R"("a\"b\nAé")");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->string_value, "a\"b\nA\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  auto emoji = ParseJson(R"("😀")");
+  ASSERT_TRUE(emoji.ok()) << emoji.status();
+  EXPECT_EQ(emoji->string_value, "\xf0\x9f\x98\x80");
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());
+}
+
+TEST(JsonParserTest, ObjectsArraysAndFind) {
+  auto v = ParseJson(
+      R"j({"query":"even(T)","max_rows":5,"tags":[1,2,3],"nested":{"a":null}})j");
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* q = v->Find("query");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->string_value, "even(T)");
+  EXPECT_EQ(v->Find("max_rows")->int_value, 5);
+  ASSERT_TRUE(v->Find("tags")->is_array());
+  EXPECT_EQ(v->Find("tags")->array.size(), 3u);
+  EXPECT_TRUE(v->Find("nested")->Find("a")->is_null());
+  EXPECT_EQ(v->Find("absent"), nullptr);
+}
+
+TEST(JsonParserTest, ErrorsCarryByteOffsets) {
+  auto bad = ParseJson("{\"a\": }");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("byte"), std::string::npos);
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+}
+
+TEST(JsonParserTest, DepthIsCapped) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
 }
 
 }  // namespace

@@ -1,41 +1,59 @@
-// chronolog-serve — loads a program, builds its relational specification,
-// and serves the chronolog_obs endpoints over HTTP until SIGINT/SIGTERM.
+// chronolog-serve — the query-serving daemon: loads one or more programs
+// into a DatabaseRegistry (compiling each relational specification
+// eagerly), and serves the query protocol plus the chronolog_obs endpoints
+// over HTTP until SIGINT/SIGTERM.
 //
 // Usage:
 //   chronolog-serve [flags] program.tdl
 //
-// Flags:
-//   --port=N        listen port (default 0 = kernel-assigned ephemeral port;
-//                   the chosen port is printed and optionally written to
-//                   --port-file so scripts can scrape without racing)
-//   --port-file=P   write the bound port (decimal, newline) to file P
-//   --query=Q       run first-order query Q once at startup (repeatable) so
-//                   the query.* instrument family is populated before the
-//                   first scrape
-//   --threads=N     engine worker threads (EngineOptions::num_threads)
-//   --workers=N     HTTP worker threads (default 2)
-//   --log-level=L   debug|info|warn|error|off (default: $CHRONOLOG_LOG_LEVEL)
+// The positional program registers as database "default"; additional
+// databases ride along via --db.
 //
-// Endpoints (see docs/OBSERVABILITY.md):
-//   GET /metrics    Prometheus text exposition (version 0.0.4)
-//   GET /healthz    JSON liveness probe
-//   GET /trace      Chrome trace-event JSON (open in Perfetto)
+// Flags:
+//   --port=N          listen port (default 0 = kernel-assigned ephemeral
+//                     port; the chosen port is printed and optionally
+//                     written to --port-file so scripts can scrape without
+//                     racing)
+//   --port-file=P     write the bound port (decimal, newline) to file P
+//   --db=NAME=PATH    register PATH under database NAME (repeatable)
+//   --query=Q         run first-order query Q once at startup against the
+//                     default database (repeatable) so the query.*
+//                     instrument family is populated before the first scrape
+//   --threads=N       engine worker threads (EngineOptions::num_threads)
+//   --workers=N       HTTP worker threads (default 2)
+//   --max-inflight=N  concurrent queries admitted before 429 (default 8;
+//                     0 disables admission control)
+//   --deadline-ms=N   default per-query wall-clock budget (default 1000)
+//   --max-rows=N      default per-query row cap (default 1024)
+//   --log-level=L     debug|info|warn|error|off (default: $CHRONOLOG_LOG_LEVEL)
+//
+// Endpoints (see docs/SERVING.md and docs/OBSERVABILITY.md):
+//   POST /query      JSON query protocol with per-query deadlines/row limits
+//   GET /databases   registry contents
+//   GET /metrics     Prometheus text exposition (version 0.0.4)
+//   GET /healthz     JSON liveness probe
+//   GET /trace       Chrome trace-event JSON (open in Perfetto)
 //
 // This is the scrape target for the bench/ci.sh serve gate: start with
-// --port=0 --port-file, poll the file, scrape, SIGINT, expect exit 0.
+// --port=0 --port-file, poll the file, scrape + POST, SIGINT, expect exit 0.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
+#include "query/query_eval.h"
+#include "query/query_parser.h"
 #include "serve/http_server.h"
 #include "serve/obs_endpoints.h"
+#include "serve/query_endpoints.h"
+#include "serve/registry.h"
 #include "util/log.h"
 
 namespace {
@@ -57,14 +75,21 @@ int main(int argc, char** argv) {
   int port = 0;
   int threads = 1;
   int workers = 2;
+  int max_inflight = 8;
+  int deadline_ms = 1000;
+  int max_rows = 1024;
   std::string port_file;
   std::string program_path;
   std::vector<std::string> queries;
+  std::vector<std::pair<std::string, std::string>> extra_dbs;  // name, path
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (ParseIntFlag(arg, "--port", &port) ||
         ParseIntFlag(arg, "--threads", &threads) ||
-        ParseIntFlag(arg, "--workers", &workers)) {
+        ParseIntFlag(arg, "--workers", &workers) ||
+        ParseIntFlag(arg, "--max-inflight", &max_inflight) ||
+        ParseIntFlag(arg, "--deadline-ms", &deadline_ms) ||
+        ParseIntFlag(arg, "--max-rows", &max_rows)) {
       continue;
     }
     if (arg.rfind("--port-file=", 0) == 0) {
@@ -73,6 +98,16 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--query=", 0) == 0) {
       queries.push_back(arg.substr(8));
+      continue;
+    }
+    if (arg.rfind("--db=", 0) == 0) {
+      const std::string spec = arg.substr(5);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        chronolog::LogError("serve.bad_flag").Str("flag", arg);
+        return 2;
+      }
+      extra_dbs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
       continue;
     }
     if (arg.rfind("--log-level=", 0) == 0) {
@@ -95,34 +130,49 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::ifstream file(program_path);
-  if (!file) {
-    chronolog::LogError("serve.open_failed").Str("path", program_path);
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-
   chronolog::EngineOptions options;
   options.collect_metrics = true;
   options.num_threads = threads;
-  auto tdd = chronolog::TemporalDatabase::FromSource(buffer.str(), options);
-  if (!tdd.ok()) {
+
+  chronolog::DatabaseRegistry registry;
+  // Registration compiles each specification eagerly, so the fixpoint.* /
+  // spec.* instruments are populated before the first scrape and the
+  // serving hot path never builds state.
+  auto added = registry.AddFromFile("default", program_path, options);
+  if (!added.ok()) {
     chronolog::LogError("serve.load_failed")
         .Str("path", program_path)
-        .Str("status", tdd.status().ToString());
+        .Str("status", added.ToString());
     return 1;
   }
-  // Build the specification eagerly so fixpoint.* / spec.* instruments are
-  // populated before the first scrape.
-  auto spec = tdd->specification();
-  if (!spec.ok()) {
-    chronolog::LogError("serve.spec_failed")
-        .Str("status", spec.status().ToString());
-    return 1;
+  for (const auto& [name, path] : extra_dbs) {
+    auto status = registry.AddFromFile(name, path, options);
+    if (!status.ok()) {
+      chronolog::LogError("serve.load_failed")
+          .Str("db", name)
+          .Str("path", path)
+          .Str("status", status.ToString());
+      return 1;
+    }
   }
+
+  const chronolog::DatabaseRegistry::Entry* default_db =
+      registry.Find("default");
   for (const std::string& q : queries) {
-    auto answer = tdd->Query(q);
+    // Warm-ups go through the same const serving path as POST /query
+    // (unbounded: they are operator-issued, not client traffic).
+    auto parsed = chronolog::ParseQuery(q, default_db->tdd.vocab());
+    if (!parsed.ok()) {
+      chronolog::LogError("serve.query_failed")
+          .Str("query", q)
+          .Str("status", parsed.status().ToString());
+      return 1;
+    }
+    chronolog::QueryEvalOptions eval_options;
+    eval_options.metrics = default_db->tdd.metrics();
+    eval_options.trace = default_db->tdd.trace();
+    auto answer = chronolog::EvaluateQueryOverSpec(
+        parsed.value(), *default_db->spec, eval_options);
     if (!answer.ok()) {
       chronolog::LogError("serve.query_failed")
           .Str("query", q)
@@ -134,9 +184,21 @@ int main(int argc, char** argv) {
   chronolog::HttpServerOptions server_options;
   server_options.port = port;
   server_options.num_workers = workers;
+  // The default database's registry doubles as the serve-level sink, so one
+  // /metrics scrape carries query.*, serve.responses_* and query.rejected.
+  server_options.metrics = default_db->tdd.metrics();
   chronolog::HttpServer server(server_options);
-  chronolog::RegisterObservabilityEndpoints(server, tdd->metrics(),
-                                            tdd->trace(), "chronolog-serve");
+  chronolog::RegisterObservabilityEndpoints(server, default_db->tdd.metrics(),
+                                            default_db->tdd.trace(),
+                                            "chronolog-serve");
+  chronolog::QueryServiceOptions query_options;
+  query_options.max_in_flight = max_inflight;
+  query_options.default_timeout = std::chrono::milliseconds(deadline_ms);
+  query_options.default_max_rows =
+      max_rows < 0 ? 0 : static_cast<uint64_t>(max_rows);
+  query_options.metrics = default_db->tdd.metrics();
+  chronolog::RegisterQueryEndpoints(server, &registry, query_options);
+
   auto started = server.Start();
   if (!started.ok()) {
     chronolog::LogError("serve.start_failed")
@@ -152,9 +214,10 @@ int main(int argc, char** argv) {
     }
     out << server.port() << "\n";
   }
-  std::printf("chronolog-serve: listening on 127.0.0.1:%d (%s)\n",
-              server.port(), program_path.c_str());
-  std::printf("  GET /metrics  GET /healthz  GET /trace — Ctrl-C to stop\n");
+  std::printf("chronolog-serve: listening on 127.0.0.1:%d (%zu database(s))\n",
+              server.port(), registry.size());
+  std::printf("  POST /query  GET /databases /metrics /healthz /trace — "
+              "Ctrl-C to stop\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -163,7 +226,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   server.Stop();
-  std::printf("chronolog-serve: stopped after %llu request(s)\n",
+  std::printf("chronolog-serve: stopped after %llu response(s)\n",
               static_cast<unsigned long long>(server.requests_served()));
   return 0;
 }
