@@ -1,20 +1,29 @@
-// PR 7 headline numbers: end-to-end query serving over the wire. Each
-// iteration is one full HTTP round trip on loopback — connect, POST /query,
-// evaluate over the compiled relational specification, render the JSON
-// answer, tear the connection down (`Connection: close` per request, like
-// the real server). The measurement therefore includes the protocol
-// overhead the serving PR added, not just the evaluator time the other
-// suites already track.
+// PR 7/8 headline numbers: end-to-end query serving over the wire on
+// loopback. Two client modes:
+//
+//  * close-per-request — connect, POST /query, evaluate, render, tear the
+//    connection down. One connect/teardown per query: the PR 7 ceiling,
+//    dominated by syscalls rather than evaluation.
+//  * keep-alive — one persistent HTTP/1.1 connection carries a run of
+//    requests (the Arg is requests-per-connection), reconnecting only when
+//    the run ends. This is the PR 8 serving mode; the spread between the
+//    two is exactly the per-connection setup cost keep-alive removes.
 //
 // Suites:
-//  * BM_ServePostQuery        — round-trip latency / QPS, 1 and 4 client
-//                               threads against a 4-worker server;
-//  * BM_ServePostQueryRows    — row-rendering cost as max_rows grows;
-//  * BM_ServeRefusedQuery     — the parse-and-refuse path (unknown
-//                               database -> 404), an upper bound on the
-//                               per-request overhead when no evaluation
-//                               happens. Shedding under load must stay far
-//                               cheaper than serving.
+//  * BM_ServePostQuery          — close-mode round-trip latency / QPS, 1
+//                                 and 4 client threads against a 4-worker
+//                                 server;
+//  * BM_ServePostQueryKeepAlive — keep-alive QPS at 16 / 256 requests per
+//                                 connection, 1 and 4 client threads (the
+//                                 server runs 4 workers, and a kept-alive
+//                                 connection pins one — client threads must
+//                                 stay <= workers);
+//  * BM_ServePostQueryRows      — row-rendering cost as max_rows grows;
+//  * BM_ServeRefusedQuery       — the parse-and-refuse path (unknown
+//                                 database -> 404), an upper bound on the
+//                                 per-request overhead when no evaluation
+//                                 happens. Shedding under load must stay
+//                                 far cheaper than serving.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -64,9 +73,88 @@ std::string RoundTrip(int port, const std::string& request) {
 }
 
 std::string PostQuery(int port, const std::string& body) {
-  return RoundTrip(port, "POST /query HTTP/1.1\r\nHost: b\r\nContent-Length: " +
+  // Explicit close: this helper frames the response by EOF, and the close
+  // mode must keep paying the connect/teardown the keep-alive suite avoids.
+  return RoundTrip(port, "POST /query HTTP/1.1\r\nHost: b\r\n"
+                         "Connection: close\r\nContent-Length: " +
                              std::to_string(body.size()) + "\r\n\r\n" + body);
 }
+
+/// A persistent HTTP/1.1 connection: requests share one socket, responses
+/// are framed by Content-Length (no EOF to read to).
+class KeepAliveClient {
+ public:
+  ~KeepAliveClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(int port) {
+    Disconnect();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Disconnect();
+      return false;
+    }
+    return true;
+  }
+
+  void Disconnect() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response exchange on the open connection.
+  std::string PostQuery(const std::string& body) {
+    const std::string request =
+        "POST /query HTTP/1.1\r\nHost: b\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n =
+          ::send(fd_, request.data() + sent, request.size() - sent, 0);
+      if (n <= 0) return "";
+      sent += static_cast<std::size_t>(n);
+    }
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return "";
+    }
+    std::size_t body_size = 0;
+    const std::size_t cl = buffer_.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      body_size = static_cast<std::size_t>(
+          std::strtoull(buffer_.c_str() + cl + 16, nullptr, 10));
+    }
+    const std::size_t total = header_end + 4 + body_size;
+    while (buffer_.size() < total) {
+      if (!Fill()) return "";
+    }
+    std::string response = buffer_.substr(0, total);
+    buffer_.erase(0, total);
+    return response;
+  }
+
+ private:
+  bool Fill() {
+    char buf[8192];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    buffer_.append(buf, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
 
 /// The shared server: one registry entry (`tick` mod 128 — a spec with ~129
 /// representatives, so open tautology queries yield enough rows to make
@@ -111,6 +199,39 @@ void BM_ServePostQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());  // items/s == queries/s
 }
 BENCHMARK(BM_ServePostQuery)->Threads(1)->Threads(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ServePostQueryKeepAlive(benchmark::State& state) {
+  const int port = Harness().server->port();
+  const std::string body = R"j({"query":"tick(T)"})j";
+  const int64_t requests_per_conn = state.range(0);
+  // Each client thread owns one persistent connection (a kept-alive
+  // connection pins a server worker, so thread counts must stay <= the
+  // harness's 4 workers) and reconnects every `requests_per_conn` requests.
+  KeepAliveClient client;
+  int64_t served_on_conn = 0;
+  for (auto _ : state) {
+    if (!client.connected() || served_on_conn >= requests_per_conn) {
+      if (!client.Connect(port)) {
+        state.SkipWithError("connect failed");
+        break;
+      }
+      served_on_conn = 0;
+    }
+    const std::string response = client.PostQuery(body);
+    ++served_on_conn;
+    if (response.find("HTTP/1.1 200") == std::string::npos) {
+      state.SkipWithError("non-200 response");
+      break;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["reqs_per_conn"] = static_cast<double>(requests_per_conn);
+}
+BENCHMARK(BM_ServePostQueryKeepAlive)
+    ->Arg(16)->Arg(256)
+    ->Threads(1)->Threads(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ServePostQueryRows(benchmark::State& state) {

@@ -4,10 +4,13 @@
 # chronolog-lint gate over every shipped example program, a clang-tidy pass
 # (skipped when the binary is absent), a metrics-liveness check of the
 # chronolog_obs instrumentation, a perf smoke gate comparing two BT hot-path
-# benchmarks plus the loopback POST /query round-trip against the committed
-# BENCH_PR7.json baseline, a chronolog-serve gate (Prometheus exposition +
-# Chrome trace + POST /query answers cross-checked against the tddsh REPL
-# oracle + no-5xx assertion + clean SIGINT shutdown), an
+# benchmarks plus the loopback POST /query round-trips (close-per-request
+# and keep-alive) against the committed BENCH_PR8.json baseline, a
+# chronolog-serve gate (Prometheus exposition + Chrome trace + POST /query
+# answers cross-checked against the tddsh REPL oracle — once over
+# close-per-request connections, once over a single persistent HTTP/1.1
+# connection with the reuse counters asserted — + no-5xx assertion + clean
+# SIGINT shutdown), an
 # AddressSanitizer/UBSan build
 # (CHRONOLOG_SANITIZE, see CMakeLists.txt) with a full ctest run, and a
 # ThreadSanitizer build running the concurrency-heavy suites with
@@ -101,14 +104,15 @@ PY
 
 # Perf smoke gate: two representative BT benchmarks (the even-chain depth
 # sweep and the random-graph path workload) plus the single-client POST
-# /query round-trip, against the committed BENCH_PR7.json baseline. A median
+# /query round-trips — close-per-request and keep-alive at 256 requests per
+# connection — against the committed BENCH_PR8.json baseline. A median
 # above the per-benchmark limit fails — a cheap tripwire for accidental
-# hot-path regressions, not a full bench run. The serve round-trip gets a
+# hot-path regressions, not a full bench run. The serve round-trips get a
 # wider limit (1.5x) because loopback latency on shared CI hosts is far
 # noisier than the in-process BT workloads.
 # Set CHRONOLOG_SKIP_PERF_GATE=1 on hosts that are slower than the baseline
 # machine (the committed medians are host-specific).
-echo "== perf smoke gate (hot paths vs BENCH_PR7.json) =="
+echo "== perf smoke gate (hot paths vs BENCH_PR8.json) =="
 if [[ "${CHRONOLOG_SKIP_PERF_GATE:-0}" == 1 ]]; then
   echo "perf gate: skipped (CHRONOLOG_SKIP_PERF_GATE=1)"
 else
@@ -120,14 +124,14 @@ else
     --benchmark_out="$BUILD_DIR/perf_smoke.json" \
     --benchmark_out_format=json >/dev/null
   "$BUILD_DIR/bench/bench_serve_qps" \
-    --benchmark_filter='BM_ServePostQuery/real_time/threads:1$' \
+    --benchmark_filter='BM_ServePostQuery/real_time/threads:1$|BM_ServePostQueryKeepAlive/256/real_time/threads:1$' \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json \
     --benchmark_out="$BUILD_DIR/perf_smoke_serve.json" \
     --benchmark_out_format=json >/dev/null
   python3 - "$BUILD_DIR/perf_smoke.json" "$BUILD_DIR/perf_smoke_serve.json" \
-    BENCH_PR7.json <<'PY'
+    BENCH_PR8.json <<'PY'
 import json
 import sys
 
@@ -139,7 +143,8 @@ with open(sys.argv[3]) as fh:
     baseline = json.load(fh)
 
 # Loopback HTTP on a shared host jitters much more than in-process evaluation.
-LIMITS = {"BM_ServePostQuery/real_time/threads:1": 1.50}
+LIMITS = {"BM_ServePostQuery/real_time/threads:1": 1.50,
+          "BM_ServePostQueryKeepAlive/256/real_time/threads:1": 1.50}
 
 failures = []
 checked = 0
@@ -160,8 +165,8 @@ for bench in benchmarks:
           f"{status}")
     if measured > allowed:
         failures.append(name)
-if checked != 3:
-    sys.exit(f"perf gate: expected 3 medians, saw {checked}")
+if checked != 4:
+    sys.exit(f"perf gate: expected 4 medians, saw {checked}")
 if failures:
     sys.exit("perf gate: regression in " + ", ".join(failures) +
              " (CHRONOLOG_SKIP_PERF_GATE=1 to bypass on slower hosts)")
@@ -318,6 +323,63 @@ assert ok_lines and float(ok_lines[0].split(" ")[1]) >= 4, ok_lines
 print(f"serve gate: POST /query matches tddsh oracle "
       f"({len(oracle_rows)} rows, rewrite {rewrite.group(1)} -> 0 "
       f"mod {rewrite.group(2)}), no 5xx responses")
+PY
+
+# Keep-alive leg of the serve gate: the urllib checks above send
+# `Connection: close` per request, so they never exercise connection reuse.
+# http.client.HTTPConnection holds one HTTP/1.1 socket open across
+# requests; run the oracle query several times plus a /metrics scrape over
+# a single connection, require every answer to match, and require the
+# serve.connections_reused counter to have advanced by at least the number
+# of follow-up requests — proof the server actually kept the socket, not
+# just that the client asked it to.
+python3 - "$(cat "$SERVE_PORT_FILE")" "$ORACLE_OUT" <<'PY'
+import http.client
+import json
+import re
+import sys
+
+port, oracle_path = sys.argv[1], sys.argv[2]
+
+with open(oracle_path) as fh:
+    oracle_rows = [[int(m)] for m in re.findall(r"T = (\d+)", fh.read())]
+assert oracle_rows, "serve gate: tddsh oracle produced no rows"
+
+conn = http.client.HTTPConnection("127.0.0.1", int(port))
+body = '{"query":"tok(T, a0)","database":"default"}'
+requests_on_conn = 0
+for _ in range(5):
+    conn.request("POST", "/query", body=body.encode(),
+                 headers={"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    answer = json.loads(resp.read().decode())
+    requests_on_conn += 1
+    assert resp.status == 200, (resp.status, answer)
+    assert answer["rows"] == oracle_rows, (answer["rows"], oracle_rows)
+
+conn.request("GET", "/metrics")
+resp = conn.getresponse()
+metrics = resp.read().decode()
+requests_on_conn += 1
+assert resp.status == 200, resp.status
+conn.close()
+
+
+def counter(name):
+    lines = [l for l in metrics.splitlines() if l.startswith(name + " ")]
+    assert lines, f"serve gate: counter {name} missing from /metrics"
+    return float(lines[0].split(" ")[1])
+
+
+# All requests after the first rode the same socket.
+reused = counter("serve_connections_reused")
+assert reused >= requests_on_conn - 1, (reused, requests_on_conn)
+assert counter("serve_connections_opened") >= 1
+assert counter("serve_responses_5xx") == 0
+
+print(f"serve gate: keep-alive connection served {requests_on_conn} "
+      f"requests (connections_reused={reused:.0f}), answers stable, "
+      f"no 5xx responses")
 PY
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"  # non-zero exit (unclean shutdown) fails the gate via set -e

@@ -74,25 +74,67 @@ void WriteAll(int fd, std::string_view data) {
   }
 }
 
-void WriteResponse(int fd, const HttpResponse& response,
+void WriteResponse(int fd, const HttpResponse& response, bool keep_alive,
                    bool head_only = false) {
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+  std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      StatusText(response.status) + "\r\n";
-  head += "Content-Type: " + response.content_type + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += "Connection: close\r\n\r\n";
-  WriteAll(fd, head);
-  if (!head_only) WriteAll(fd, response.body);
+  wire += "Content-Type: " + response.content_type + "\r\n";
+  wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  wire += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
+  // One send for head + body: separate writes would leave the body runt
+  // packet parked behind Nagle until the client's delayed ACK (~40ms) on a
+  // kept-alive connection, where no close() flushes it.
+  if (!head_only) wire += response.body;
+  WriteAll(fd, wire);
 }
 
 HttpResponse TextResponse(int status, std::string body) {
   return HttpResponse{status, "text/plain; charset=utf-8", std::move(body)};
 }
 
-/// Scans the header block (the lines after the request line, exclusive of
-/// the terminating blank line) for Content-Length. Returns false when the
-/// header is absent or unparseable.
-bool FindContentLength(std::string_view headers, uint64_t* out) {
+std::string_view TrimOws(std::string_view value) {
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t' ||
+                            value.back() == '\r')) {
+    value.remove_suffix(1);
+  }
+  return value;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The request headers the connection layer itself acts on. Everything is
+/// gathered in one scan of the header block (the lines after the request
+/// line, exclusive of the terminating blank line).
+struct RequestHeaders {
+  bool has_content_length = false;
+  uint64_t content_length = 0;
+  /// Duplicate, conflicting or unparseable Content-Length. With connection
+  /// reuse, guessing at an ambiguous body length is a request-smuggling
+  /// vector (the "second" interpretation executes as a new request), so any
+  /// ambiguity is rejected outright with 400.
+  bool bad_content_length = false;
+  /// Any Transfer-Encoding at all: chunked is unimplemented, and every
+  /// other value conflicts with Content-Length framing — same smuggling
+  /// reasoning, same 400.
+  bool has_transfer_encoding = false;
+  bool connection_close = false;
+};
+
+RequestHeaders ParseRequestHeaders(std::string_view headers) {
+  RequestHeaders out;
   std::size_t pos = 0;
   while (pos < headers.size()) {
     std::size_t eol = headers.find("\r\n", pos);
@@ -101,22 +143,33 @@ bool FindContentLength(std::string_view headers, uint64_t* out) {
     pos = eol + 2;
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos) continue;
-    std::string name(line.substr(0, colon));
-    for (char& c : name) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const std::string_view name = line.substr(0, colon);
+    const std::string_view value = TrimOws(line.substr(colon + 1));
+    if (EqualsIgnoreCase(name, "content-length")) {
+      uint64_t parsed = 0;
+      if (out.has_content_length || !ParseUint64(value, &parsed)) {
+        out.bad_content_length = true;  // duplicates rejected even if equal
+      } else {
+        out.has_content_length = true;
+        out.content_length = parsed;
+      }
+    } else if (EqualsIgnoreCase(name, "transfer-encoding")) {
+      out.has_transfer_encoding = true;
+    } else if (EqualsIgnoreCase(name, "connection")) {
+      // Comma-separated option list; "close" anywhere in it wins.
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string_view::npos) comma = value.size();
+        if (EqualsIgnoreCase(TrimOws(value.substr(start, comma - start)),
+                             "close")) {
+          out.connection_close = true;
+        }
+        start = comma + 1;
+      }
     }
-    if (name != "content-length") continue;
-    std::string_view value = line.substr(colon + 1);
-    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
-      value.remove_prefix(1);
-    }
-    while (!value.empty() && (value.back() == ' ' || value.back() == '\t' ||
-                              value.back() == '\r')) {
-      value.remove_suffix(1);
-    }
-    return ParseUint64(value, out);
   }
-  return false;
+  return out;
 }
 
 }  // namespace
@@ -141,6 +194,20 @@ Status HttpServer::Start() {
     return FailedPreconditionError("HttpServer::Start: already running");
   }
   shutdown_.store(false, std::memory_order_release);
+
+  if (options_.metrics != nullptr) {
+    // Pre-register the connection and response-class families: a scrape
+    // must see an explicit zero (so dashboards and the CI no-5xx assertion
+    // can distinguish "none happened" from "not instrumented"), not a
+    // missing series until the first event.
+    for (const char* name :
+         {"serve.connections_opened", "serve.connections_reused",
+          "serve.connections_idle_closed", "serve.responses_2xx",
+          "serve.responses_3xx", "serve.responses_4xx",
+          "serve.responses_5xx"}) {
+      options_.metrics->counter(name);
+    }
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -232,8 +299,8 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::Respond(int client_fd, const HttpResponse& response,
-                         bool head_only) {
-  WriteResponse(client_fd, response, head_only);
+                         bool keep_alive, bool head_only) {
+  WriteResponse(client_fd, response, keep_alive, head_only);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   if (options_.metrics != nullptr) {
     const char* family = response.status >= 500   ? "serve.responses_5xx"
@@ -244,18 +311,74 @@ void HttpServer::Respond(int client_fd, const HttpResponse& response,
   }
 }
 
+void HttpServer::Count(const char* name) {
+  if (options_.metrics != nullptr) options_.metrics->counter(name)->Add();
+}
+
 void HttpServer::ServeConnection(int client_fd) {
   timeval timeout{};
   timeout.tv_sec = options_.read_timeout_ms / 1000;
   timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
   ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  // Responses must hit the wire as soon as they are written: with reuse the
+  // socket stays open, so Nagle would otherwise hold the final segment of
+  // each response hostage to the client's delayed ACK.
+  const int one = 1;
+  ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Count("serve.connections_opened");
 
-  // Read until the end of the header block; a POST body (if any) is read
-  // separately below, once Content-Length is known.
-  std::string request;
+  std::string carry;  // over-read bytes belonging to the next request
+  for (int served = 0; !shutdown_.load(std::memory_order_acquire); ++served) {
+    if (served > 0 && carry.empty()) {
+      // Idle keep-alive wait, in short slices so shutdown_ stays visible:
+      // a parked connection must never pin a worker past Stop().
+      int waited_ms = 0;
+      bool readable = false;
+      while (waited_ms < options_.idle_timeout_ms &&
+             !shutdown_.load(std::memory_order_acquire)) {
+        const int slice =
+            std::min(kAcceptPollMs, options_.idle_timeout_ms - waited_ms);
+        pollfd pfd{client_fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, slice);
+        if (ready > 0) {
+          readable = true;
+          break;
+        }
+        if (ready == 0) waited_ms += slice;
+        // EINTR: retry the slice without crediting the wait.
+      }
+      if (!readable) {
+        if (!shutdown_.load(std::memory_order_acquire)) {
+          Count("serve.connections_idle_closed");
+        }
+        return;
+      }
+    }
+    const bool allow_reuse =
+        options_.max_requests_per_connection <= 0 ||
+        served + 1 < options_.max_requests_per_connection;
+    if (!ServeOneRequest(client_fd, &carry, allow_reuse,
+                         /*reused=*/served > 0)) {
+      return;
+    }
+  }
+}
+
+bool HttpServer::ServeOneRequest(int client_fd, std::string* carry,
+                                 bool allow_reuse, bool reused) {
+  // Read until the end of the header block, starting from whatever the
+  // previous request over-read; the body (if any) is read separately below,
+  // once Content-Length is known.
+  std::string request = std::move(*carry);
+  carry->clear();
   char buf[4096];
   bool timed_out = false;
-  while (request.find("\r\n\r\n") == std::string::npos &&
+  // Resume-offset scan: the terminator can only straddle the last 3 bytes
+  // of what was already searched plus the new chunk, so each recv re-scans
+  // O(chunk) bytes instead of the whole buffer (large header blocks used to
+  // make this loop quadratic).
+  std::size_t header_end = request.find("\r\n\r\n");
+  while (header_end == std::string::npos &&
          request.size() < kMaxRequestBytes) {
     const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
@@ -264,32 +387,37 @@ void HttpServer::ServeConnection(int client_fd) {
       break;
     }
     if (n <= 0) break;  // closed or hard error
+    const std::size_t scan_from = request.size() < 3 ? 0 : request.size() - 3;
     request.append(buf, static_cast<std::size_t>(n));
+    header_end = request.find("\r\n\r\n", scan_from);
   }
 
-  const std::size_t header_end = request.find("\r\n\r\n");
   if (header_end == std::string::npos) {
     // The three truncation causes get distinct codes: a header block that
     // hit the read cap is 431 (even if the peer would have sent more), a
     // stalled client is 408, and a closed/garbled connection is 400. A
     // connection that closed without sending anything gets no response at
-    // all — and is deliberately not counted as a request.
+    // all — and is deliberately not counted as a request. All of them end
+    // the connection: the stream is not at a request boundary.
     if (request.size() >= kMaxRequestBytes) {
       Respond(client_fd,
               TextResponse(431, "request header block exceeds " +
                                     std::to_string(kMaxRequestBytes) +
-                                    " bytes\n"));
-      return;
+                                    " bytes\n"),
+              /*keep_alive=*/false);
+      return false;
     }
     if (timed_out) {
-      Respond(client_fd,
-              TextResponse(408, "timed out reading the request\n"));
-      return;
+      Respond(client_fd, TextResponse(408, "timed out reading the request\n"),
+              /*keep_alive=*/false);
+      return false;
     }
-    if (request.empty()) return;
-    Respond(client_fd, TextResponse(400, "incomplete request\n"));
-    return;
+    if (request.empty()) return false;
+    Respond(client_fd, TextResponse(400, "incomplete request\n"),
+            /*keep_alive=*/false);
+    return false;
   }
+  if (reused) Count("serve.connections_reused");
 
   const std::size_t line_end = request.find("\r\n");
   const std::string line = request.substr(0, line_end);
@@ -297,9 +425,11 @@ void HttpServer::ServeConnection(int client_fd) {
   const std::size_t sp2 = sp1 == std::string::npos
                               ? std::string::npos
                               : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    Respond(client_fd, TextResponse(400, "malformed request line\n"));
-    return;
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    Respond(client_fd, TextResponse(400, "malformed request line\n"),
+            /*keep_alive=*/false);
+    return false;
   }
   HttpRequest parsed;
   parsed.method = line.substr(0, sp1);
@@ -312,85 +442,158 @@ void HttpServer::ServeConnection(int client_fd) {
     parsed.query = target.substr(qmark + 1);
   }
 
+  const RequestHeaders headers = ParseRequestHeaders(
+      std::string_view(request).substr(line_end + 2,
+                                       header_end - line_end - 2));
+  if (headers.has_transfer_encoding) {
+    Respond(client_fd,
+            TextResponse(400, "Transfer-Encoding is not supported\n"),
+            /*keep_alive=*/false);
+    return false;
+  }
+  if (headers.bad_content_length) {
+    Respond(client_fd,
+            TextResponse(400, "duplicate, conflicting or malformed "
+                              "Content-Length\n"),
+            /*keep_alive=*/false);
+    return false;
+  }
+
+  // Keep-alive decision: HTTP/1.1 defaults to persistent, HTTP/1.0 always
+  // closes, an explicit `Connection: close` is honored, and the request cap
+  // turns the final allowed response into a close.
+  const bool http10 = line.compare(sp2 + 1, std::string::npos, "HTTP/1.0") == 0;
+  const bool keep_alive = allow_reuse && !http10 && !headers.connection_close;
+
+  // Bytes past the header block were over-read: the body prefix first, then
+  // (pipelined clients) the start of the next request.
+  std::string buffered = request.substr(header_end + 4);
+  const uint64_t body_length =
+      headers.has_content_length ? headers.content_length : 0;
+
+  // Reads the declared body — over-read prefix first, then the wire — and
+  // leaves anything beyond it in *carry for the next request. Returns the
+  // HTTP status to fail the connection with, or 0 on success.
+  const auto read_body = [&](std::string* body) -> int {
+    if (buffered.size() >= body_length) {
+      body->assign(buffered, 0, static_cast<std::size_t>(body_length));
+      carry->assign(buffered, static_cast<std::size_t>(body_length),
+                    std::string::npos);
+      return 0;
+    }
+    *body = std::move(buffered);
+    while (body->size() < body_length) {
+      const std::size_t want =
+          std::min(sizeof(buf),
+                   static_cast<std::size_t>(body_length) - body->size());
+      const ssize_t n = ::recv(client_fd, buf, want, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 408;
+      if (n <= 0) return 400;
+      body->append(buf, static_cast<std::size_t>(n));
+    }
+    return 0;
+  };
+  const auto fail_body = [&](int status) {
+    Respond(client_fd,
+            status == 408
+                ? TextResponse(408, "timed out reading the request body\n")
+                : TextResponse(400,
+                               "request body shorter than Content-Length\n"),
+            /*keep_alive=*/false);
+  };
+  // Answers a route-level miss (404/405). The framing is intact, so the
+  // connection survives — but only once the declared body (which the
+  // handler never read) is drained off the wire; an undrainable body (over
+  // the cap, or a read failure) closes instead.
+  const auto respond_after_drain = [&](const HttpResponse& response) -> bool {
+    if (body_length > options_.max_body_bytes) {
+      Respond(client_fd, response, /*keep_alive=*/false);
+      return false;
+    }
+    std::string discarded;
+    if (const int status = read_body(&discarded); status != 0) {
+      fail_body(status);
+      return false;
+    }
+    Respond(client_fd, response, keep_alive);
+    return keep_alive;
+  };
+
   if (parsed.method == "GET" || parsed.method == "HEAD") {
     const auto it = routes_.find(parsed.path);
     if (it == routes_.end()) {
       if (post_routes_.count(parsed.path) != 0) {
-        Respond(client_fd,
-                TextResponse(405, "this route only accepts POST\n"));
-        return;
+        return respond_after_drain(
+            TextResponse(405, "this route only accepts POST\n"));
       }
       std::string known = "not found; routes:";
       for (const auto& [path, handler] : routes_) known += " " + path;
       for (const auto& [path, handler] : post_routes_) {
         known += " POST:" + path;
       }
-      Respond(client_fd, TextResponse(404, known + "\n"));
-      return;
+      return respond_after_drain(TextResponse(404, known + "\n"));
     }
-    Respond(client_fd, it->second(parsed),
+    // A GET/HEAD with a declared body is unusual but legal; consume it so
+    // the connection stays at a request boundary.
+    if (body_length > options_.max_body_bytes) {
+      Respond(client_fd,
+              TextResponse(413, "request body exceeds " +
+                                    std::to_string(options_.max_body_bytes) +
+                                    " bytes\n"),
+              /*keep_alive=*/false);
+      return false;
+    }
+    std::string discarded;
+    if (const int status = read_body(&discarded); status != 0) {
+      fail_body(status);
+      return false;
+    }
+    Respond(client_fd, it->second(parsed), keep_alive,
             /*head_only=*/parsed.method == "HEAD");
-    return;
+    return keep_alive;
   }
 
   if (parsed.method != "POST") {
-    Respond(client_fd,
-            TextResponse(405, "only GET, HEAD and POST are supported\n"));
-    return;
+    return respond_after_drain(
+        TextResponse(405, "only GET, HEAD and POST are supported\n"));
   }
 
   const auto it = post_routes_.find(parsed.path);
   if (it == post_routes_.end()) {
     if (routes_.count(parsed.path) != 0) {
-      Respond(client_fd, TextResponse(405, "this route only accepts GET\n"));
-      return;
+      return respond_after_drain(
+          TextResponse(405, "this route only accepts GET\n"));
     }
     std::string known = "not found; POST routes:";
     for (const auto& [path, handler] : post_routes_) known += " " + path;
-    Respond(client_fd, TextResponse(404, known + "\n"));
-    return;
+    return respond_after_drain(TextResponse(404, known + "\n"));
   }
 
-  uint64_t content_length = 0;
-  if (!FindContentLength(
-          std::string_view(request).substr(line_end + 2,
-                                           header_end - line_end - 2),
-          &content_length)) {
+  if (!headers.has_content_length) {
+    // Without Content-Length the request's extent is unknowable, so the
+    // connection cannot be reused either.
     Respond(client_fd,
-            TextResponse(411, "POST requires a Content-Length header\n"));
-    return;
+            TextResponse(411, "POST requires a Content-Length header\n"),
+            /*keep_alive=*/false);
+    return false;
   }
-  if (content_length > options_.max_body_bytes) {
+  if (body_length > options_.max_body_bytes) {
+    // Refusing to buffer also means refusing to drain: close rather than
+    // stream an over-cap body into the void.
     Respond(client_fd,
             TextResponse(413, "request body exceeds " +
                                   std::to_string(options_.max_body_bytes) +
-                                  " bytes\n"));
-    return;
+                                  " bytes\n"),
+            /*keep_alive=*/false);
+    return false;
   }
-  // The header read loop may have pulled in a body prefix; keep exactly
-  // Content-Length bytes (anything beyond it on the wire is ignored — this
-  // server never pipelines, every response closes the connection).
-  parsed.body = request.substr(header_end + 4);
-  if (parsed.body.size() > content_length) parsed.body.resize(content_length);
-  while (parsed.body.size() < content_length) {
-    const std::size_t want = std::min(
-        sizeof(buf), static_cast<std::size_t>(content_length) -
-                         parsed.body.size());
-    const ssize_t n = ::recv(client_fd, buf, want, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      Respond(client_fd,
-              TextResponse(408, "timed out reading the request body\n"));
-      return;
-    }
-    if (n <= 0) {
-      Respond(client_fd,
-              TextResponse(400, "request body shorter than Content-Length\n"));
-      return;
-    }
-    parsed.body.append(buf, static_cast<std::size_t>(n));
+  if (const int status = read_body(&parsed.body); status != 0) {
+    fail_body(status);
+    return false;
   }
-  Respond(client_fd, it->second(parsed));
+  Respond(client_fd, it->second(parsed), keep_alive);
+  return keep_alive;
 }
 
 }  // namespace chronolog

@@ -11,6 +11,10 @@ void RegisterObservabilityEndpoints(HttpServer& server,
                                     const MetricsRegistry* metrics,
                                     const TraceBuffer* trace,
                                     std::string service) {
+  // Every response here is Content-Length framed, never close-delimited:
+  // Prometheus scrapers hold their scrape connection open between rounds,
+  // and the keep-alive server (PR 8) reuses it — the exposition must not
+  // rely on EOF to mark its end.
   server.Handle("/metrics", [metrics](const HttpRequest&) {
     HttpResponse response;
     // The content type Prometheus scrapers negotiate for text format.

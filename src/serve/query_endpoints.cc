@@ -142,7 +142,18 @@ void RegisterQueryEndpoints(HttpServer& server,
     eval_options.metrics = entry->tdd.metrics();
     eval_options.trace = entry->tdd.trace();
     if (timeout.count() > 0) {
-      eval_options.deadline = std::chrono::steady_clock::now() + timeout;
+      // Clamp before adding: a huge client deadline_ms (e.g. 2^62, legal
+      // when no max_timeout cap is configured) overflows `now + timeout`
+      // once the milliseconds convert to the clock's nanosecond duration,
+      // yielding a deadline in the past and a spuriously partial answer.
+      const auto now = std::chrono::steady_clock::now();
+      const auto headroom =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::time_point::max() - now) -
+          std::chrono::milliseconds(1);
+      eval_options.deadline =
+          timeout < headroom ? now + timeout
+                             : std::chrono::steady_clock::time_point::max();
     }
     eval_options.max_rows = max_rows;
 
@@ -162,8 +173,10 @@ void RegisterQueryEndpoints(HttpServer& server,
     // Splice the request context into the answer document (the renderer
     // emits a complete object; drop its opening brace).
     std::string answer_json = QueryAnswerToJson(*answer, vocab);
+    // FormatDouble, not std::to_string: the latter honors LC_NUMERIC, and a
+    // comma decimal separator (e.g. under de_DE) breaks the JSON document.
     response.body = "{\"database\":\"" + JsonEscape(database) +
-                    "\",\"eval_ms\":" + std::to_string(eval_ms) + "," +
+                    "\",\"eval_ms\":" + FormatDouble(eval_ms) + "," +
                     answer_json.substr(1) + "\n";
     return response;
   });

@@ -1,5 +1,8 @@
 #include "util/string_util.h"
 
+#include <charconv>
+#include <cmath>
+
 namespace chronolog {
 
 std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
@@ -53,6 +56,16 @@ std::string JsonEscape(std::string_view s) {
     }
   }
   return out;
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  // std::to_chars is locale-independent by specification and emits the
+  // shortest representation that round-trips.
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";  // cannot happen with a 64-byte buffer
+  return std::string(buf, end);
 }
 
 }  // namespace chronolog

@@ -22,6 +22,13 @@ bool ParseUint64(std::string_view s, uint64_t* out);
 /// control characters). Does not add the surrounding quotes.
 std::string JsonEscape(std::string_view s);
 
+/// Renders `v` in shortest round-trip decimal form with `.` as the decimal
+/// separator regardless of the process locale — safe to splice into JSON,
+/// unlike std::to_string/printf, which honor LC_NUMERIC (a German locale
+/// renders `0.5` as `0,5` and corrupts the document). Non-finite values
+/// (which JSON cannot carry) render as "0".
+std::string FormatDouble(double v);
+
 }  // namespace chronolog
 
 #endif  // CHRONOLOG_UTIL_STRING_UTIL_H_

@@ -11,6 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <clocale>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,13 +59,17 @@ std::string RawRequest(int port, const std::string& request) {
   return response;
 }
 
+// The one-shot helpers ask for `Connection: close` explicitly: they frame
+// the response by reading to EOF, which on a keep-alive connection would
+// block until the server's idle timeout.
 std::string Get(int port, const std::string& path) {
-  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n" +
+                              "Connection: close\r\n\r\n");
 }
 
 std::string Post(int port, const std::string& path, const std::string& body) {
   return RawRequest(port, "POST " + path + " HTTP/1.1\r\nHost: t\r\n" +
-                              "Content-Length: " +
+                              "Connection: close\r\nContent-Length: " +
                               std::to_string(body.size()) + "\r\n\r\n" + body);
 }
 
@@ -96,6 +103,96 @@ std::string RawRequestThenEof(int port, const std::string& request) {
   ::close(fd);
   return response;
 }
+
+/// A client connection held open across requests. Keep-alive responses have
+/// no EOF to delimit them, so each one is framed by its Content-Length —
+/// exactly what a real reusing client must do.
+class KeepAliveClient {
+ public:
+  ~KeepAliveClient() { Close(); }
+
+  bool Connect(int port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool Send(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads exactly one response. `head_only` responses (to HEAD requests)
+  /// declare a Content-Length but carry no body bytes.
+  std::string ReadResponse(bool head_only = false) {
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return "";
+    }
+    std::size_t body_size = 0;
+    const std::size_t cl = buffer_.find("Content-Length: ");
+    if (!head_only && cl != std::string::npos && cl < header_end) {
+      body_size = static_cast<std::size_t>(
+          std::strtoull(buffer_.c_str() + cl + 16, nullptr, 10));
+    }
+    const std::size_t total = header_end + 4 + body_size;
+    while (buffer_.size() < total) {
+      if (!Fill()) return "";
+    }
+    std::string response = buffer_.substr(0, total);
+    buffer_.erase(0, total);
+    return response;
+  }
+
+  /// Blocks until the server closes its side; true on a clean EOF with no
+  /// stray bytes first.
+  bool WaitForEof() {
+    char c;
+    for (;;) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n == 0) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // error, or unexpected data
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+  }
+
+ private:
+  bool Fill() {
+    char buf[4096];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    buffer_.append(buf, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;  // over-read bytes of the next response
+};
 
 TEST(HttpServerTest, ServesRegisteredRouteOnEphemeralPort) {
   HttpServer server;
@@ -146,8 +243,9 @@ TEST(HttpServerTest, NonGetIs405) {
   HttpServer server;
   server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
   ASSERT_TRUE(server.Start().ok());
-  const std::string response =
-      RawRequest(server.port(), "POST /x HTTP/1.1\r\nHost: t\r\n\r\n");
+  const std::string response = RawRequest(
+      server.port(),
+      "POST /x HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
   server.Stop();
 }
@@ -160,8 +258,9 @@ TEST(HttpServerTest, HeadGetsHeadersWithoutBody) {
     return response;
   });
   ASSERT_TRUE(server.Start().ok());
-  const std::string response =
-      RawRequest(server.port(), "HEAD /h HTTP/1.1\r\nHost: t\r\n\r\n");
+  const std::string response = RawRequest(
+      server.port(),
+      "HEAD /h HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   // Content-Length reflects the GET body, but the body is not sent.
   EXPECT_NE(response.find("Content-Length: 9"), std::string::npos);
@@ -254,6 +353,282 @@ TEST(ObsEndpointsTest, NullSinksDegradeGracefully) {
   const std::string trace = Get(server.port(), "/trace");
   EXPECT_NE(trace.find("\"traceEvents\":[]"), std::string::npos);
   server.Stop();
+}
+
+// --------------------------------------------------------------------------
+// HTTP/1.1 keep-alive: persistent connections, pipelining, idle timeout
+// --------------------------------------------------------------------------
+
+TEST(HttpKeepAliveTest, SequentialRequestsReuseOneConnection) {
+  MetricsRegistry metrics;
+  HttpServerOptions options;
+  options.metrics = &metrics;
+  HttpServer server(options);
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+    const std::string response = client.ReadResponse();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+    EXPECT_NE(response.find("Connection: keep-alive"), std::string::npos)
+        << response;
+    EXPECT_NE(response.find("pong"), std::string::npos);
+  }
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 3u);
+  EXPECT_EQ(metrics.counter("serve.connections_opened")->value(), 1u);
+  EXPECT_EQ(metrics.counter("serve.connections_reused")->value(), 2u);
+}
+
+TEST(HttpKeepAliveTest, PipelinedPostsAnswerInOrder) {
+  HttpServer server;
+  server.HandlePost("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "got:" + request.body;
+    return response;
+  });
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two POSTs plus a GET in a single write: the server over-reads the first
+  // body together with the following requests and must carry the prefix
+  // forward instead of discarding it.
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(
+      "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nfirst"
+      "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 6\r\n\r\nsecond"
+      "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string r1 = client.ReadResponse();
+  EXPECT_NE(r1.find("got:first"), std::string::npos) << r1;
+  const std::string r2 = client.ReadResponse();
+  EXPECT_NE(r2.find("got:second"), std::string::npos) << r2;
+  const std::string r3 = client.ReadResponse();
+  EXPECT_NE(r3.find("pong"), std::string::npos) << r3;
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(HttpKeepAliveTest, ConnectionCloseRequestIsHonored) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(
+      "GET /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, Http10AlwaysCloses) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.0\r\nHost: t\r\n\r\n"));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, MalformedSecondRequestClosesConnection) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  EXPECT_NE(client.ReadResponse().find("HTTP/1.1 200"), std::string::npos);
+  ASSERT_TRUE(client.Send("BOGUS\r\n\r\n"));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, IdleConnectionIsClosedAndCounted) {
+  MetricsRegistry metrics;
+  HttpServerOptions options;
+  options.idle_timeout_ms = 150;
+  options.metrics = &metrics;
+  HttpServer server(options);
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  EXPECT_NE(client.ReadResponse().find("Connection: keep-alive"),
+            std::string::npos);
+  // Send nothing more: the server must hang up, not hold the worker.
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+  EXPECT_EQ(metrics.counter("serve.connections_idle_closed")->value(), 1u);
+}
+
+TEST(HttpKeepAliveTest, MaxRequestsPerConnectionHonored) {
+  HttpServerOptions options;
+  options.max_requests_per_connection = 2;
+  HttpServer server(options);
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string first = client.ReadResponse();
+  EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos) << first;
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string second = client.ReadResponse();
+  EXPECT_NE(second.find("Connection: close"), std::string::npos) << second;
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(HttpKeepAliveTest, HeadResponsesDoNotDesyncFraming) {
+  HttpServer server;
+  server.Handle("/h", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "body-text";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  // HEAD then GET pipelined: the HEAD response declares Content-Length 9
+  // but must not ship the body, or the GET's response starts 9 bytes late.
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(
+      "HEAD /h HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /h HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string head = client.ReadResponse(/*head_only=*/true);
+  EXPECT_NE(head.find("Content-Length: 9"), std::string::npos) << head;
+  const std::string get = client.ReadResponse();
+  EXPECT_NE(get.find("HTTP/1.1 200 OK"), std::string::npos) << get;
+  EXPECT_NE(get.find("body-text"), std::string::npos) << get;
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, RouteMissesKeepConnectionAndDrainBody) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  // A POST to an unregistered route answers 404 — and must still drain the
+  // 5-byte body it never read, or the next request starts mid-body.
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(
+      "POST /nope HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello"));
+  const std::string miss = client.ReadResponse();
+  EXPECT_NE(miss.find("HTTP/1.1 404"), std::string::npos) << miss;
+  EXPECT_NE(miss.find("Connection: keep-alive"), std::string::npos) << miss;
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string hit = client.ReadResponse();
+  EXPECT_NE(hit.find("HTTP/1.1 200"), std::string::npos) << hit;
+  EXPECT_NE(hit.find("pong"), std::string::npos) << hit;
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, HeaderTerminatorStraddlingRecvChunksIsFound) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  // Split the request mid-"\r\n\r\n": the resume-offset scan must still see
+  // a terminator that straddles two recv chunks.
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(client.Send("\n"));
+  EXPECT_NE(client.ReadResponse().find("HTTP/1.1 200"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, StopReturnsPromptlyWithIdleConnectionOpen) {
+  HttpServer server;  // default 5 s idle timeout: Stop() must not wait it out
+  server.Handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  EXPECT_NE(client.ReadResponse().find("HTTP/1.1 200"), std::string::npos);
+  const auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_TRUE(client.WaitForEof());
+}
+
+// Matches the TSan ctest filter ('Parallel'): concurrent clients, each
+// reusing one persistent connection for its whole request sequence. The
+// client count deliberately equals the worker count — a kept-alive
+// connection pins its worker, so more reusing clients than workers would
+// starve (that sizing rule is documented in docs/SERVING.md).
+TEST(HttpKeepAliveParallelTest, ConcurrentReusingClientsAllServed) {
+  MetricsRegistry metrics;
+  HttpServerOptions options;
+  options.num_workers = 4;
+  options.metrics = &metrics;
+  HttpServer server(options);
+  std::atomic<uint64_t> hits{0};
+  server.Handle("/hit", [&hits](const HttpRequest&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> ok_responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&ok_responses, port = server.port()] {
+      KeepAliveClient client;
+      if (!client.Connect(port)) return;
+      for (int j = 0; j < kRequestsPerClient; ++j) {
+        if (!client.Send("GET /hit HTTP/1.1\r\nHost: t\r\n\r\n")) return;
+        if (client.ReadResponse().find("HTTP/1.1 200 OK") !=
+            std::string::npos) {
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(ok_responses.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(hits.load(),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(metrics.counter("serve.connections_opened")->value(),
+            static_cast<uint64_t>(kClients));
+  EXPECT_EQ(metrics.counter("serve.connections_reused")->value(),
+            static_cast<uint64_t>(kClients * (kRequestsPerClient - 1)));
 }
 
 // --------------------------------------------------------------------------
@@ -372,6 +747,70 @@ TEST(HttpProtocolTest, PostBodyReachesHandler) {
   server.Stop();
 }
 
+// With connection reuse, ambiguous body framing is a request-smuggling
+// vector: whatever the server mis-frames as "beyond the body" would execute
+// as a new request. Duplicate/conflicting Content-Length and any
+// Transfer-Encoding are therefore rejected outright, and the connection is
+// closed so nothing after the poisoned request is ever parsed.
+TEST(HttpProtocolTest, DuplicateContentLengthIs400AndCloses) {
+  std::atomic<int> hits{0};
+  HttpServer server;
+  server.HandlePost("/p", [&hits](const HttpRequest&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  KeepAliveClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // Even agreeing duplicates are rejected; the pipelined smuggled request
+  // behind them must never run.
+  ASSERT_TRUE(client.Send(
+      "POST /p HTTP/1.1\r\nHost: t\r\n"
+      "Content-Length: 5\r\nContent-Length: 5\r\n\r\nhello"
+      "POST /p HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+  EXPECT_TRUE(client.WaitForEof());
+  server.Stop();
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(HttpProtocolTest, ConflictingContentLengthIs400) {
+  HttpServer server;
+  server.HandlePost("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequestThenEof(
+      server.port(),
+      "POST /p HTTP/1.1\r\nHost: t\r\n"
+      "Content-Length: 4\r\nContent-Length: 11\r\n\r\nhush");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HttpProtocolTest, TransferEncodingIs400) {
+  std::atomic<int> hits{0};
+  HttpServer server;
+  server.HandlePost("/p", [&hits](const HttpRequest&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  // The classic TE/CL split: a server that honored Content-Length here
+  // while an upstream proxy honored Transfer-Encoding would disagree on
+  // where the request ends.
+  const std::string response = RawRequestThenEof(
+      server.port(),
+      "POST /p HTTP/1.1\r\nHost: t\r\n"
+      "Transfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n"
+      "0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  EXPECT_NE(response.find("Transfer-Encoding"), std::string::npos)
+      << response;
+  server.Stop();
+  EXPECT_EQ(hits.load(), 0);
+}
+
 // --------------------------------------------------------------------------
 // The query protocol: POST /query over a DatabaseRegistry
 // --------------------------------------------------------------------------
@@ -475,6 +914,47 @@ TEST_F(QueryEndpointTest, DeadlineMarksAnswerPartial) {
   auto json = ParseJson(Body(response));
   ASSERT_TRUE(json.ok()) << response;
   EXPECT_TRUE(json->Find("partial")->bool_value) << Body(response);
+}
+
+TEST_F(QueryEndpointTest, HugeDeadlineDoesNotOverflowIntoThePast) {
+  // With no max_timeout cap configured, a deadline_ms of 2^62 used to
+  // overflow steady_clock::now() + timeout into the past, turning every
+  // answer spuriously partial. The clamp must treat it as unlimited.
+  QueryServiceOptions options;
+  options.max_timeout = std::chrono::milliseconds(0);
+  const int port = StartServer(options);
+  const std::string response = Post(
+      port, "/query",
+      R"j({"query":"tick(T)","deadline_ms":4611686018427387904})j");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_FALSE(json->Find("partial")->bool_value) << Body(response);
+  ASSERT_TRUE(json->Find("rows")->is_array());
+  EXPECT_EQ(json->Find("rows")->array.size(), 1u);
+}
+
+TEST_F(QueryEndpointTest, EvalMsStaysValidJsonUnderCommaDecimalLocale) {
+  // std::to_string(double) honors LC_NUMERIC: under a comma-decimal locale
+  // it would render eval_ms as "0,042" and corrupt the JSON document. The
+  // endpoint must format locale-independently. When the locale is not
+  // installed in the test image, setlocale fails and this still verifies
+  // the default-locale rendering parses.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const bool have_locale =
+      std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  const int port = StartServer();
+  const std::string response =
+      Post(port, "/query", R"j({"query":"tick(T)"})j");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << json.status() << "\n"
+                         << response << "\n(comma-decimal locale active: "
+                         << (have_locale ? "yes" : "no") << ")";
+  EXPECT_GE(json->Find("eval_ms")->number, 0.0);
 }
 
 TEST_F(QueryEndpointTest, InvalidLimitsAre400) {

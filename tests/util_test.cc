@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <limits>
+#include <string>
+
 #include "util/hash.h"
 #include "util/json.h"
 #include "util/result.h"
@@ -258,6 +262,38 @@ TEST(JsonParserTest, ErrorsCarryByteOffsets) {
   EXPECT_FALSE(ParseJson("{} trailing").ok());
   EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
   EXPECT_FALSE(ParseJson("'single'").ok());
+}
+
+TEST(FormatDoubleTest, RoundTripsAndStaysJsonSafe) {
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(-3.25), "-3.25");
+  EXPECT_EQ(FormatDouble(42.0), "42");
+  // Shortest-round-trip: parsing the output recovers the exact value.
+  const double v = 0.042137;
+  auto parsed = ParseJson(FormatDouble(v));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->number, v);
+  // Non-finite values cannot appear in JSON; they degrade to "0".
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(FormatDoubleTest, IgnoresCommaDecimalLocale) {
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const bool have_locale =
+      std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  const std::string rendered = FormatDouble(1.5);
+  const std::string to_string_rendered = std::to_string(1.5);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(rendered, "1.5");
+  if (have_locale) {
+    // The bug being guarded against: std::to_string picked up the comma.
+    EXPECT_NE(to_string_rendered.find(','), std::string::npos)
+        << "de_DE locale installed but did not use ',' — check the fixture";
+  }
 }
 
 TEST(JsonParserTest, DepthIsCapped) {

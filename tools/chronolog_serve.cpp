@@ -21,6 +21,10 @@
 //                     instrument family is populated before the first scrape
 //   --threads=N       engine worker threads (EngineOptions::num_threads)
 //   --workers=N       HTTP worker threads (default 2)
+//   --idle-timeout-ms=N       close a kept-alive connection idle for N ms
+//                             (default 5000)
+//   --max-requests-per-conn=N close a connection after N requests
+//                             (default 0 = unlimited)
 //   --max-inflight=N  concurrent queries admitted before 429 (default 8;
 //                     0 disables admission control)
 //   --deadline-ms=N   default per-query wall-clock budget (default 1000)
@@ -75,6 +79,8 @@ int main(int argc, char** argv) {
   int port = 0;
   int threads = 1;
   int workers = 2;
+  int idle_timeout_ms = 5000;
+  int max_requests_per_conn = 0;
   int max_inflight = 8;
   int deadline_ms = 1000;
   int max_rows = 1024;
@@ -87,6 +93,8 @@ int main(int argc, char** argv) {
     if (ParseIntFlag(arg, "--port", &port) ||
         ParseIntFlag(arg, "--threads", &threads) ||
         ParseIntFlag(arg, "--workers", &workers) ||
+        ParseIntFlag(arg, "--idle-timeout-ms", &idle_timeout_ms) ||
+        ParseIntFlag(arg, "--max-requests-per-conn", &max_requests_per_conn) ||
         ParseIntFlag(arg, "--max-inflight", &max_inflight) ||
         ParseIntFlag(arg, "--deadline-ms", &deadline_ms) ||
         ParseIntFlag(arg, "--max-rows", &max_rows)) {
@@ -184,6 +192,8 @@ int main(int argc, char** argv) {
   chronolog::HttpServerOptions server_options;
   server_options.port = port;
   server_options.num_workers = workers;
+  server_options.idle_timeout_ms = idle_timeout_ms;
+  server_options.max_requests_per_connection = max_requests_per_conn;
   // The default database's registry doubles as the serve-level sink, so one
   // /metrics scrape carries query.*, serve.responses_* and query.rejected.
   server_options.metrics = default_db->tdd.metrics();
