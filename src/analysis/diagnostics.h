@@ -32,8 +32,22 @@ inline constexpr const char* kNotSeparable = "L009";         // warning
 inline constexpr const char* kUnreducedTimeOnly = "L010";    // note
 inline constexpr const char* kNotProgressive = "L011";       // note
 inline constexpr const char* kNotInflationary = "L012";      // warning
+inline constexpr const char* kUnknownRoot = "L013";          // note
 inline constexpr const char* kParseError = "P001";           // error
 }  // namespace lint_code
+
+/// Stable diagnostic codes of the chronolog_flow static analyses
+/// (analysis/dataflow.h). Same contract as the L-series: never renumber.
+namespace flow_code {
+inline constexpr const char* kOffsetCycle = "A001";      // note
+inline constexpr const char* kUnboundedGrowth = "A002";  // warning
+inline constexpr const char* kStaticHorizon = "A003";    // note
+inline constexpr const char* kPeriodDivisor = "A004";    // note
+inline constexpr const char* kDegreeBudget = "A005";     // warning
+inline constexpr const char* kProgramDegree = "A006";    // note
+inline constexpr const char* kBindingPatterns = "A007";  // note
+inline constexpr const char* kJoinOrderPrior = "A008";   // note
+}  // namespace flow_code
 
 /// A source span resolved against the owning program's unit table:
 /// file name plus 1-based line/column. `line == 0` means the node was

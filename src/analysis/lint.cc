@@ -409,7 +409,15 @@ void ReachabilityPass(const LintContext& ctx, std::vector<Diagnostic>* out) {
   std::string root_list;
   for (const std::string& name : ctx.options.roots) {
     PredicateId p = vocab.FindPredicate(name);
-    if (p == kInvalidPredicate || p >= num_preds) continue;
+    if (p == kInvalidPredicate || p >= num_preds) {
+      // L013: a root that names no predicate is almost always a typo, and
+      // silently dropping it would hide rules from the L008 relevance set.
+      out->push_back(MakeProgramDiagnostic(
+          Severity::kNote, lint_code::kUnknownRoot,
+          "query root '" + name +
+              "' does not name a predicate of the program and is ignored"));
+      continue;
+    }
     if (!root_list.empty()) root_list += ", ";
     root_list += "'" + name + "'";
     if (!relevant[p]) {
@@ -499,7 +507,7 @@ const std::vector<RegisteredPass>& Registry() {
       {{"subsumed", "L005",
         "rules whose body strictly contains another rule's body (same head)"},
        SubsumedPass},
-      {{"reachability", "L006,L007,L008",
+      {{"reachability", "L006,L007,L008,L013",
         "dead rules and underivable predicates from EDB/query roots"},
        ReachabilityPass},
       {{"classification", "L009,L010,L011",

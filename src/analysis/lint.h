@@ -24,7 +24,8 @@ struct LintOptions {
   PeriodDetectionOptions inflationary_budget;
   /// Optional query roots (predicate names). When non-empty, rules whose
   /// head cannot be reached from any root along the dependency graph are
-  /// flagged kUnreachableFromRoots (L008). Unknown names are ignored.
+  /// flagged kUnreachableFromRoots (L008). Names that do not resolve to a
+  /// predicate get a kUnknownRoot (L013) note and are otherwise ignored.
   std::vector<std::string> roots;
   /// Pass names (see LintPassRegistry) to skip; empty = run everything
   /// enabled by the flags above.

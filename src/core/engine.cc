@@ -76,11 +76,37 @@ Result<InflationaryReport> TemporalDatabase::inflationary() {
   return *inflationary_;
 }
 
+const FlowAnalysis& TemporalDatabase::analysis() {
+  if (analysis_ == nullptr) {
+    analysis_ = std::make_unique<FlowAnalysis>(
+        AnalyzeProgram(unit_.program, unit_.database, options_.flow));
+    EngineLog(LogLevel::kInfo, "engine.analysis", options_)
+        .Bool("bounded", analysis_->hints.bounded)
+        .Int("static_horizon", analysis_->hints.static_horizon)
+        .Int("period_divisor", analysis_->hints.period_divisor)
+        .Int("initial_horizon_hint", analysis_->hints.initial_horizon)
+        .Int("program_degree", analysis_->degrees.program_degree);
+  }
+  return *analysis_;
+}
+
 Result<const RelationalSpecification*> TemporalDatabase::specification() {
   if (!spec_.has_value()) {
+    // Under `analyze`, detection options are seeded from the static hints:
+    // the initial doubling window starts at the predicted stabilization
+    // horizon and the adornment join-order priors seed the plan caches.
+    // Both are cost-only steers — the detected period and the resulting
+    // specification are bit-identical to an unseeded build (the soundness
+    // gate in tests/flow_soundness_test.cc asserts exactly this).
+    PeriodDetectionOptions period_options = options_.period;
+    if (options_.analyze) {
+      const FlowAnalysis& flow = analysis();
+      SeedPeriodOptions(flow.hints, &period_options);
+      period_options.plan_priors = &flow.adornments.priors;
+    }
     const auto start = std::chrono::steady_clock::now();
     Result<RelationalSpecification> spec = BuildSpecification(
-        unit_.program, unit_.database, options_.period, &spec_info_);
+        unit_.program, unit_.database, period_options, &spec_info_);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
                                .count();

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "analysis/classify.h"
+#include "analysis/dataflow.h"
 #include "analysis/inflationary.h"
 #include "analysis/lint.h"
 #include "ast/parser.h"
@@ -44,6 +45,16 @@ struct EngineOptions {
   LintLevel lint_level = LintLevel::kOff;
   /// Pass configuration used when `lint_level != kOff`.
   LintOptions lint;
+  /// Run the chronolog_flow static analyses (analysis/dataflow.h) and let
+  /// their results steer evaluation: the temporal-offset hints seed
+  /// `period.initial_horizon` (result-invariant — the doubling detector
+  /// converges to the model's minimal period from any starting window) and
+  /// the adornment join-order priors seed the RuleEvaluator plan caches
+  /// (plans never affect results). Off by default; the analysis is also
+  /// available on demand via TemporalDatabase::analysis().
+  bool analyze = false;
+  /// Pass configuration for the flow analyses (roots, degree budget).
+  FlowOptions flow;
   /// Build the chronolog_obs observability layer for this database: the
   /// engine owns a MetricsRegistry + TraceBuffer and wires them through
   /// every evaluator it drives (specification builds, inflationary checks,
@@ -99,6 +110,11 @@ class TemporalDatabase {
 
   /// Theorem 5.2 inflationary verdict (computed once, cached).
   Result<InflationaryReport> inflationary();
+
+  /// The chronolog_flow static analysis (computed once, cached). Available
+  /// regardless of `EngineOptions::analyze`; the flag only controls whether
+  /// the hints steer specification builds.
+  const FlowAnalysis& analysis();
 
   /// The relational specification `(T, B, W)` of the least model (built
   /// once, cached). May fail with kResourceExhausted when the period
@@ -178,6 +194,9 @@ class TemporalDatabase {
   std::unique_ptr<TraceBuffer> trace_;
   std::optional<ProgramClassification> classification_;
   std::optional<InflationaryReport> inflationary_;
+  // Heap-allocated so the join-order priors handed to evaluators stay valid
+  // across moves of this object (same reasoning as the metrics sinks).
+  std::unique_ptr<FlowAnalysis> analysis_;
   std::optional<RelationalSpecification> spec_;
   SpecificationBuildInfo spec_info_;
 };

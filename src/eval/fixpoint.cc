@@ -111,8 +111,13 @@ Status RunSemiNaiveRounds(const Program& program,
 
   std::vector<RuleEvaluator> evaluators;
   evaluators.reserve(program.rules().size());
-  for (const Rule& rule : program.rules()) {
-    evaluators.emplace_back(rule, vocab, options.use_index, options.metrics);
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    evaluators.emplace_back(program.rules()[i], vocab, options.use_index,
+                            options.metrics);
+    if (options.plan_priors != nullptr && i < options.plan_priors->size() &&
+        !(*options.plan_priors)[i].empty()) {
+      evaluators.back().SetStaticOrderPrior(&(*options.plan_priors)[i]);
+    }
   }
 
   // Derivable (IDB) predicates: heads of some rule.
@@ -352,8 +357,13 @@ Result<Interpretation> ApplyTp(const Program& program, const Database& db,
     const bool is_new = !interp.Contains(f);
     if (out.Insert(f) && is_new) count_if_new(f.pred, f.time);
   }
-  for (const Rule& rule : program.rules()) {
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
     RuleEvaluator evaluator(rule, vocab, options.use_index, options.metrics);
+    if (options.plan_priors != nullptr && i < options.plan_priors->size() &&
+        !(*options.plan_priors)[i].empty()) {
+      evaluator.SetStaticOrderPrior(&(*options.plan_priors)[i]);
+    }
     evaluator.Evaluate(interp, /*delta=*/nullptr, /*delta_pos=*/-1,
                        /*time_binding=*/std::nullopt, stats,
                        [&](GroundAtom&& fact) {
@@ -494,10 +504,15 @@ Result<Interpretation> ExtendFixpoint(const Program& program,
   // instantiations whose body is entirely old. (Heads at or below the old
   // bound are already closed in `prior`.)
   std::vector<GroundAtom> ground_head_facts;
-  for (const Rule& rule : program.rules()) {
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
     if (!rule.head.temporal() || !rule.head.time->ground()) continue;
     if (rule.head.time->offset <= prior_max_time) continue;
     RuleEvaluator evaluator(rule, vocab, options.use_index, options.metrics);
+    if (options.plan_priors != nullptr && i < options.plan_priors->size() &&
+        !(*options.plan_priors)[i].empty()) {
+      evaluator.SetStaticOrderPrior(&(*options.plan_priors)[i]);
+    }
     evaluator.Evaluate(full, /*delta=*/nullptr, /*delta_pos=*/-1,
                        /*time_binding=*/std::nullopt, stats,
                        [&](GroundAtom&& fact) {

@@ -46,6 +46,11 @@ struct FixpointOptions {
   /// engine wires these up when `EngineOptions::collect_metrics` is set.
   MetricsRegistry* metrics = nullptr;
   TraceBuffer* trace = nullptr;
+  /// Static join-order priors from the chronolog_flow adornment analysis,
+  /// indexed like Program::rules(); null or an empty inner vector leaves a
+  /// rule on greedy selectivity planning. Must outlive the fixpoint call.
+  /// Plans never affect results, only cost (see RuleEvaluator).
+  const JoinOrderPriors* plan_priors = nullptr;
 };
 
 /// One application of the immediate-consequence operator:

@@ -131,11 +131,25 @@ std::size_t RuleEvaluator::SlotKey(int delta_pos, bool time_bound) const {
   return static_cast<std::size_t>(delta_pos + 1) * 2 + (time_bound ? 1 : 0);
 }
 
+void RuleEvaluator::SetStaticOrderPrior(const std::vector<uint32_t>* order) {
+  static_prior_ = nullptr;
+  if (order == nullptr || order->size() != rule_.body.size()) return;
+  std::vector<char> seen(rule_.body.size(), 0);
+  for (uint32_t pos : *order) {
+    if (pos >= rule_.body.size() || seen[pos]) return;  // not a permutation
+    seen[pos] = 1;
+  }
+  static_prior_ = order;
+}
+
 std::unique_ptr<RuleEvaluator::JoinPlan> RuleEvaluator::BuildPlan(
     const Interpretation& full, const Interpretation* delta, int delta_pos,
-    bool time_bound) const {
+    bool time_bound, bool use_prior) const {
   auto plan = std::make_unique<JoinPlan>();
   const std::size_t n = rule_.body.size();
+  // A static prior pins the atom order of the first plan; probe columns and
+  // estimates still come from live statistics below.
+  const std::vector<uint32_t>* prior = use_prior ? static_prior_ : nullptr;
   plan->steps.reserve(n);
   std::vector<char> used(n, 0);
   // Variables known at each greedy step: pre-bound temporal variable first
@@ -153,6 +167,7 @@ std::unique_ptr<RuleEvaluator::JoinPlan> RuleEvaluator::BuildPlan(
     bool best_delta = false;
     for (std::size_t pos = 0; pos < n; ++pos) {
       if (used[pos]) continue;
+      if (prior != nullptr && pos != (*prior)[step]) continue;
       const Atom& atom = rule_.body[pos];
       const bool is_delta =
           delta != nullptr && static_cast<int>(pos) == delta_pos;
@@ -242,7 +257,7 @@ RuleEvaluator::JoinPlan* RuleEvaluator::GetOrBuildPlan(
     plan = cache.slots[slot].load(std::memory_order_relaxed);
     if (plan != nullptr) return plan;
     std::unique_ptr<JoinPlan> fresh =
-        BuildPlan(full, delta, delta_pos, time_bound);
+        BuildPlan(full, delta, delta_pos, time_bound, /*use_prior=*/true);
     plan = fresh.get();
     cache.owned.push_back(std::move(fresh));
     cache.slots[slot].store(plan, std::memory_order_release);
@@ -269,8 +284,10 @@ RuleEvaluator::JoinPlan* RuleEvaluator::GetOrBuildPlan(
   std::lock_guard<std::mutex> lock(cache.mu);
   JoinPlan* current = cache.slots[slot].load(std::memory_order_relaxed);
   if (current != plan) return current;  // someone else already re-planned
+  // Re-plans always use full greedy planning: a prior that drifted this far
+  // above its estimate has been refuted by observation.
   std::unique_ptr<JoinPlan> fresh =
-      BuildPlan(full, delta, delta_pos, time_bound);
+      BuildPlan(full, delta, delta_pos, time_bound, /*use_prior=*/false);
   fresh->replan_min_steps = plan->replan_min_steps * 2;  // backoff
   JoinPlan* next = fresh.get();
   bool changed = fresh->steps.size() != plan->steps.size();

@@ -16,6 +16,13 @@ namespace chronolog {
 
 class MetricsRegistry;
 
+/// Static join-order priors, indexed like Program::rules(): for rule i,
+/// priors[i] is the preferred body-atom evaluation order (source positions),
+/// or empty for "no preference". Produced by the chronolog_flow adornment
+/// analysis (analysis/dataflow.h) and threaded to the evaluators through
+/// FixpointOptions::plan_priors.
+using JoinOrderPriors = std::vector<std::vector<uint32_t>>;
+
 /// Counters accumulated by the evaluators. `derived` counts every emitted
 /// head instantiation (before deduplication); `inserted` counts facts that
 /// were new; `match_steps` counts tuple-match attempts (a machine-independent
@@ -126,6 +133,17 @@ class RuleEvaluator {
   std::vector<uint32_t> PlanOrderForTest(int delta_pos,
                                          bool time_bound) const;
 
+  /// Installs a static join-order prior: the *first* plan built for each
+  /// configuration follows `order` (a permutation of the body positions;
+  /// probe columns and estimates are still derived from live statistics)
+  /// instead of the greedy selectivity order. Drift-triggered re-plans
+  /// ignore the prior and fall back to full greedy planning, so a bad prior
+  /// self-corrects. `order` must outlive the evaluator; an order whose size
+  /// does not match the body, or that is not a permutation, is ignored.
+  /// Plans never affect results, only cost. Must be called before the first
+  /// evaluation (no synchronisation with concurrent plan builds).
+  void SetStaticOrderPrior(const std::vector<uint32_t>* order);
+
  private:
   struct JoinPlan;
   struct PlanCache;
@@ -140,7 +158,8 @@ class RuleEvaluator {
 
   std::unique_ptr<JoinPlan> BuildPlan(const Interpretation& full,
                                       const Interpretation* delta,
-                                      int delta_pos, bool time_bound) const;
+                                      int delta_pos, bool time_bound,
+                                      bool use_prior) const;
   JoinPlan* GetOrBuildPlan(const Interpretation& full,
                            const Interpretation* delta, int delta_pos,
                            bool time_bound, bool allow_replan) const;
@@ -149,6 +168,8 @@ class RuleEvaluator {
   const Rule& rule_;
   const Vocabulary& vocab_;
   bool use_index_;
+  // Static join-order prior (see SetStaticOrderPrior); null = greedy only.
+  const std::vector<uint32_t>* static_prior_ = nullptr;
   // Cached join plans, one slot per (delta_pos, time_bound) configuration.
   // Mutable: planning is an internal optimisation of const evaluation.
   mutable std::unique_ptr<PlanCache> plans_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/dataflow.h"
 #include "query/answers.h"
 #include "query/query_eval.h"
 #include "query/query_parser.h"
@@ -23,6 +24,39 @@ HttpResponse JsonError(int status, const std::string& message,
   response.content_type = "application/json";
   response.body = "{\"error\":\"" + JsonEscape(message) + "\"" + extra + "}\n";
   return response;
+}
+
+/// ",\"databases\":[...]" — the known-names hint attached to 404 errors.
+std::string KnownDatabasesJson(const DatabaseRegistry* registry) {
+  std::string known = ",\"databases\":[";
+  bool first = true;
+  for (const std::string& name : registry->names()) {
+    if (!first) known += ",";
+    known += '"';
+    known += JsonEscape(name);
+    known += '"';
+    first = false;
+  }
+  known += "]";
+  return known;
+}
+
+/// Value of `key` in a raw query string ("a=1&b=2"); `fallback` when absent.
+/// Values are not percent-decoded — database names are plain identifiers.
+std::string QueryParam(const std::string& query, std::string_view key,
+                       std::string fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return fallback;
 }
 
 /// HTTP status for a failed evaluation: client-side errors (a query the
@@ -96,15 +130,8 @@ void RegisterQueryEndpoints(HttpServer& server,
 
     const DatabaseRegistry::Entry* entry = registry->Find(database);
     if (entry == nullptr) {
-      std::string known = ",\"databases\":[";
-      bool first = true;
-      for (const std::string& name : registry->names()) {
-        if (!first) known += ",";
-        known += "\"" + JsonEscape(name) + "\"";
-        first = false;
-      }
-      known += "]";
-      return JsonError(404, "unknown database '" + database + "'", known);
+      return JsonError(404, "unknown database '" + database + "'",
+                       KnownDatabasesJson(registry));
     }
 
     // Per-query limits: the client can tighten the service defaults but
@@ -202,6 +229,30 @@ void RegisterQueryEndpoints(HttpServer& server,
     }
     body += "]}\n";
     response.body = std::move(body);
+    return response;
+  });
+
+  server.Handle("/analyze", [registry](const HttpRequest& request) {
+    const std::string database = QueryParam(request.query, "db", "default");
+    const DatabaseRegistry::Entry* entry = registry->Find(database);
+    if (entry == nullptr) {
+      return JsonError(404, "unknown database '" + database + "'",
+                       KnownDatabasesJson(registry));
+    }
+    // AnalyzeProgram is purely static (no model construction), cheap enough
+    // to recompute per request; going through the const registry entry
+    // keeps the handler free of shared mutable state.
+    const FlowAnalysis analysis =
+        AnalyzeProgram(entry->tdd.program(), entry->tdd.database());
+    HttpResponse response;
+    response.content_type = "application/json";
+    // Splice the database name into the analysis document (ToJson emits a
+    // complete object; drop its opening brace).
+    response.body = "{\"database\":\"";
+    response.body += JsonEscape(database);
+    response.body += "\",";
+    response.body += analysis.ToJson(entry->tdd.program()).substr(1);
+    response.body += "\n";
     return response;
   });
 }

@@ -41,6 +41,10 @@ struct QueryServiceOptions {
 ///                    400 malformed body / unparseable query, 404 unknown
 ///                    database, 429 over `max_in_flight`.
 ///   GET /databases   registry contents with per-database spec sizes.
+///   GET /analyze     chronolog_flow static analysis of one database
+///                    (`?db=NAME`, default "default"): offset bounds,
+///                    degrees, binding patterns, A-series diagnostics.
+///                    404 unknown database.
 ///
 /// `registry` must outlive the server; entries registered after Start() are
 /// served as soon as Add returns (Find is the only lookup on the hot path).

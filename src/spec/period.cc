@@ -160,6 +160,7 @@ Result<PeriodDetection> DetectByDoubling(const Program& program,
     fp.num_threads = options.num_threads;
     fp.metrics = options.metrics;
     fp.trace = options.trace;
+    fp.plan_priors = options.plan_priors;
     EvalStats round_stats;
     int64_t changed_from = 0;
     {

@@ -31,6 +31,11 @@ struct PeriodDetectionOptions {
   /// fixpoints / forward simulation; null disables collection.
   MetricsRegistry* metrics = nullptr;
   TraceBuffer* trace = nullptr;
+  /// Static join-order priors (chronolog_flow adornment analysis), forwarded
+  /// to the doubling detector's fixpoints via FixpointOptions::plan_priors.
+  /// Advisory only: plans never affect results. The progressive (exact
+  /// forward) path does not consume priors. Must outlive detection.
+  const JoinOrderPriors* plan_priors = nullptr;
 };
 
 /// Outcome of period detection: the minimal period of `M_{Z∧D}` and the

@@ -1,0 +1,145 @@
+// DependencyGraph structure tests: self-recursion, rule-less predicates,
+// disconnected components and the reverse-topological component numbering
+// the SCC-ordered analyses (iperiod, chronolog_flow) rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "analysis/depgraph.h"
+#include "ast/parser.h"
+
+namespace chronolog {
+namespace {
+
+ParsedUnit MustParse(std::string_view src) {
+  auto unit = Parser::Parse(src);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return std::move(unit).value();
+}
+
+PredicateId Pred(const ParsedUnit& unit, std::string_view name) {
+  const PredicateId p = unit.program.vocab().FindPredicate(name);
+  EXPECT_NE(p, kInvalidPredicate) << name;
+  return p;
+}
+
+TEST(DepGraphTest, SelfRecursivePredicateIsItsOwnRecursiveComponent) {
+  ParsedUnit unit = MustParse(R"(
+    even(0).
+    even(T+2) :- even(T).
+  )");
+  DependencyGraph graph(unit.program);
+  const PredicateId even = Pred(unit, "even");
+  EXPECT_TRUE(graph.IsRecursive(even));
+  EXPECT_FALSE(graph.HasMutualRecursion());
+  ASSERT_LT(graph.ComponentOf(even), graph.num_components());
+  EXPECT_EQ(graph.components()[graph.ComponentOf(even)],
+            std::vector<PredicateId>{even});
+  // The self-loop is a dependency edge like any other.
+  EXPECT_EQ(graph.DependsOn(even), std::vector<PredicateId>{even});
+}
+
+TEST(DepGraphTest, PredicateWithNoRulesIsNonRecursiveLeaf) {
+  ParsedUnit unit = MustParse(R"(
+    edge(a, b).
+    path(X, Y) :- edge(X, Y).
+  )");
+  DependencyGraph graph(unit.program);
+  const PredicateId edge = Pred(unit, "edge");
+  const PredicateId path = Pred(unit, "path");
+  EXPECT_FALSE(graph.IsRecursive(edge));
+  EXPECT_TRUE(graph.DependsOn(edge).empty());
+  // An EDB-only predicate still owns a (singleton) component, numbered
+  // before its consumers: callees first.
+  EXPECT_LT(graph.ComponentOf(edge), graph.ComponentOf(path));
+}
+
+TEST(DepGraphTest, DisconnectedProgramsGetDisjointComponents) {
+  ParsedUnit unit = MustParse(R"(
+    a(0).
+    a(T+1) :- a(T).
+    b(0).
+    b(T+3) :- b(T).
+  )");
+  DependencyGraph graph(unit.program);
+  const PredicateId a = Pred(unit, "a");
+  const PredicateId b = Pred(unit, "b");
+  EXPECT_NE(graph.ComponentOf(a), graph.ComponentOf(b));
+  EXPECT_FALSE(graph.HasMutualRecursion());
+  // Each component holds exactly its own predicate.
+  EXPECT_EQ(graph.components()[graph.ComponentOf(a)],
+            std::vector<PredicateId>{a});
+  EXPECT_EQ(graph.components()[graph.ComponentOf(b)],
+            std::vector<PredicateId>{b});
+}
+
+TEST(DepGraphTest, ComponentsAreNumberedReverseTopologically) {
+  // A three-layer chain: base <- mid <- top. Increasing component index
+  // must visit callees before callers, the order every stratified analysis
+  // iterates in.
+  ParsedUnit unit = MustParse(R"(
+    base(0).
+    mid(T) :- base(T).
+    top(T) :- mid(T).
+  )");
+  DependencyGraph graph(unit.program);
+  EXPECT_LT(graph.ComponentOf(Pred(unit, "base")),
+            graph.ComponentOf(Pred(unit, "mid")));
+  EXPECT_LT(graph.ComponentOf(Pred(unit, "mid")),
+            graph.ComponentOf(Pred(unit, "top")));
+
+  // TopologicalOrder agrees with the component numbering.
+  const std::vector<PredicateId> order = graph.TopologicalOrder();
+  ASSERT_EQ(order.size(), graph.num_predicates());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(graph.ComponentOf(order[i - 1]), graph.ComponentOf(order[i]));
+  }
+}
+
+TEST(DepGraphTest, MutualRecursionMergesIntoOneComponent) {
+  ParsedUnit unit = MustParse(R"(
+    ping(0).
+    pong(T+1) :- ping(T).
+    ping(T+1) :- pong(T).
+  )");
+  DependencyGraph graph(unit.program);
+  const PredicateId ping = Pred(unit, "ping");
+  const PredicateId pong = Pred(unit, "pong");
+  EXPECT_TRUE(graph.HasMutualRecursion());
+  EXPECT_TRUE(graph.IsRecursive(ping));
+  EXPECT_TRUE(graph.IsRecursive(pong));
+  EXPECT_EQ(graph.ComponentOf(ping), graph.ComponentOf(pong));
+  const std::set<PredicateId> members(
+      graph.components()[graph.ComponentOf(ping)].begin(),
+      graph.components()[graph.ComponentOf(ping)].end());
+  EXPECT_EQ(members, (std::set<PredicateId>{ping, pong}));
+}
+
+TEST(DepGraphTest, EveryPredicateBelongsToExactlyOneComponent) {
+  ParsedUnit unit = MustParse(R"(
+    e(a, b).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    lonely(7).
+  )");
+  DependencyGraph graph(unit.program);
+  std::vector<int> seen(graph.num_components(), 0);
+  for (const std::vector<PredicateId>& members : graph.components()) {
+    for (PredicateId p : members) {
+      ASSERT_LT(graph.ComponentOf(p), graph.num_components());
+      EXPECT_EQ(graph.ComponentOf(p),
+                static_cast<int>(&members - graph.components().data()));
+      ++seen[graph.ComponentOf(p)];
+    }
+  }
+  std::size_t total = 0;
+  for (int count : seen) total += static_cast<std::size_t>(count);
+  EXPECT_EQ(total, graph.num_predicates());
+}
+
+}  // namespace
+}  // namespace chronolog

@@ -1,0 +1,151 @@
+// Soundness gate for the chronolog_flow static analyses (run directly by
+// bench/ci.sh as well as through ctest): over every shipped example program
+// and the workload-generator programs, the static bounds must be consistent
+// with what the dynamic period detector finds —
+//
+//   (i)  a statically bounded program has minimal period 1, stabilised no
+//        later than one step past the static horizon;
+//   (ii) the static period divisor divides the detected minimal period;
+//  (iii) seeding detection from the hints (initial horizon + join-order
+//        priors) produces a bit-identical specification.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "ast/parser.h"
+#include "core/engine.h"
+#include "spec/specification.h"
+#include "workload/generators.h"
+
+namespace chronolog {
+namespace {
+
+struct NamedProgram {
+  std::string name;
+  std::string source;
+};
+
+std::vector<NamedProgram> AllPrograms() {
+  std::vector<NamedProgram> out;
+
+  // Every shipped example program (CHRONOLOG_SOURCE_DIR points at the
+  // source tree; set in tests/CMakeLists.txt).
+  const std::filesystem::path dir =
+      std::filesystem::path(CHRONOLOG_SOURCE_DIR) / "examples" / "programs";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".tdl") continue;
+    std::ifstream file(entry.path());
+    EXPECT_TRUE(file.is_open()) << entry.path();
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    out.push_back({entry.path().filename().string(), buffer.str()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NamedProgram& a, const NamedProgram& b) {
+              return a.name < b.name;
+            });
+  EXPECT_FALSE(out.empty()) << "no example programs found under " << dir;
+
+  // The workload generators (src/workload/generators.cc): one bounded, one
+  // progressive, several certified-periodic and several
+  // exponential-period witnesses.
+  out.push_back({"gen:even", workload::EvenSource()});
+  out.push_back({"gen:delay_chain_4_6",
+                 workload::DelayChainSource({4, 6})});
+  out.push_back({"gen:token_ring_3_4", workload::TokenRingSource({3, 4})});
+  out.push_back({"gen:binary_counter_3", workload::BinaryCounterSource(3)});
+  out.push_back({"gen:path_cycle4", workload::PathProgramSource() +
+                                        workload::CycleGraphFactsSource(4)});
+  out.push_back({"gen:ski_small",
+                 workload::SkiScheduleSource(/*resorts=*/2, /*year_len=*/12,
+                                             /*winter_len=*/5,
+                                             /*holidays=*/2)});
+  out.push_back({"gen:skewed_join_8", workload::SkewedJoinSource(8)});
+  out.push_back({"gen:bounded_datalog", workload::BoundedDatalogSource() +
+                                            "edge(a, b).\nedge(b, c).\n"});
+  out.push_back({"gen:transitive_closure",
+                 workload::TransitiveClosureDatalogSource() +
+                     "edge(a, b).\nedge(b, c).\nedge(c, a).\n"});
+  return out;
+}
+
+TEST(FlowSoundnessTest, StaticBoundsAgreeWithTheDynamicDetector) {
+  for (const NamedProgram& program : AllPrograms()) {
+    SCOPED_TRACE(program.name);
+    auto unit = Parser::Parse(program.source);
+    ASSERT_TRUE(unit.ok()) << unit.status();
+
+    const FlowAnalysis analysis =
+        AnalyzeProgram(unit->program, unit->database);
+
+    Result<RelationalSpecification> baseline =
+        BuildSpecification(unit->program, unit->database);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+    const Period period = baseline->period();
+
+    // (i) Statically bounded => the model goes empty past the horizon: the
+    // minimal period is 1 and stabilization ends one step after it.
+    if (analysis.offsets.bounded) {
+      EXPECT_EQ(period.p, 1);
+      EXPECT_LE(period.b + baseline->c(),
+                analysis.offsets.static_horizon + 1);
+    }
+
+    // (ii) The static divisor claim: p is a multiple of it.
+    ASSERT_GE(analysis.offsets.period_divisor, 1);
+    EXPECT_EQ(period.p % analysis.offsets.period_divisor, 0)
+        << "detected p=" << period.p << " static divisor="
+        << analysis.offsets.period_divisor;
+
+    // (iii) Hint-seeded detection is bit-identical: the initial-horizon
+    // seed and the join-order priors are cost-only steers.
+    PeriodDetectionOptions seeded_options;
+    SeedPeriodOptions(analysis.hints, &seeded_options);
+    seeded_options.plan_priors = &analysis.adornments.priors;
+    Result<RelationalSpecification> seeded = BuildSpecification(
+        unit->program, unit->database, seeded_options);
+    ASSERT_TRUE(seeded.ok()) << seeded.status();
+    EXPECT_EQ(seeded->period().b, period.b);
+    EXPECT_EQ(seeded->period().p, period.p);
+    EXPECT_EQ(seeded->c(), baseline->c());
+    EXPECT_EQ(seeded->num_representatives(), baseline->num_representatives());
+    EXPECT_TRUE(seeded->primary() == baseline->primary())
+        << "seeded and unseeded primary databases differ";
+  }
+}
+
+TEST(FlowSoundnessTest, EngineAnalyzeFlagPreservesTheSpecification) {
+  // End-to-end through the engine facade: EngineOptions::analyze steers the
+  // build but must not change the artefact. The delay chain is a certified
+  // self-delay workload, so the hint path (divisor > 1) is actually taken.
+  const std::string source = workload::DelayChainSource({4, 6});
+  auto plain = TemporalDatabase::FromSource(source);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto plain_spec = plain->specification();
+  ASSERT_TRUE(plain_spec.ok()) << plain_spec.status();
+
+  EngineOptions options;
+  options.analyze = true;
+  auto analyzed = TemporalDatabase::FromSource(source, options);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  auto analyzed_spec = analyzed->specification();
+  ASSERT_TRUE(analyzed_spec.ok()) << analyzed_spec.status();
+
+  EXPECT_EQ((*plain_spec)->period().b, (*analyzed_spec)->period().b);
+  EXPECT_EQ((*plain_spec)->period().p, (*analyzed_spec)->period().p);
+  EXPECT_TRUE((*plain_spec)->primary() == (*analyzed_spec)->primary());
+  // The divisor the delay structure implies — lcm(4, 6) = 12 — is visible
+  // through the lazily cached analysis accessor and divides the period.
+  EXPECT_EQ(analyzed->analysis().hints.period_divisor, 12);
+  EXPECT_EQ((*analyzed_spec)->period().p % 12, 0);
+}
+
+}  // namespace
+}  // namespace chronolog

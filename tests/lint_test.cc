@@ -288,6 +288,40 @@ TEST(LintTest, L008SilentWithoutRoots) {
   EXPECT_FALSE(HasCode(result, lint_code::kUnreachableFromRoots));
 }
 
+TEST(LintTest, L013NamesEveryUnknownRoot) {
+  // Roots that do not resolve to a predicate used to be dropped silently; a
+  // typo in --root then meant the whole program was flagged unreachable
+  // with no explanation. Each unknown name now gets its own note.
+  LintOptions options;
+  options.roots = {"reach", "raech", "also_missing"};
+  LintResult result = LintSource(R"(
+    reach(X, Y) :- edge(X, Y).
+    edge(a, b).
+  )",
+                                 options);
+  const Diagnostic& diag = FirstWithCode(result, lint_code::kUnknownRoot);
+  EXPECT_EQ(diag.severity, Severity::kNote);
+  EXPECT_NE(diag.message.find("'raech'"), std::string::npos) << diag.message;
+  int unknown_notes = 0;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == lint_code::kUnknownRoot) ++unknown_notes;
+  }
+  EXPECT_EQ(unknown_notes, 2);
+  // The resolvable root still drives reachability as before.
+  EXPECT_FALSE(HasCode(result, lint_code::kUnreachableFromRoots));
+}
+
+TEST(LintTest, L013SilentWhenAllRootsResolve) {
+  LintOptions options;
+  options.roots = {"reach"};
+  LintResult result = LintSource(R"(
+    reach(X, Y) :- edge(X, Y).
+    edge(a, b).
+  )",
+                                 options);
+  EXPECT_FALSE(HasCode(result, lint_code::kUnknownRoot));
+}
+
 // --------------------------------------------------------------------------
 // L009/L010: explained classification failures.
 // --------------------------------------------------------------------------

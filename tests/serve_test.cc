@@ -988,6 +988,42 @@ TEST_F(QueryEndpointTest, DatabasesEndpointListsRegistry) {
   EXPECT_EQ(dbs->array[1].Find("period_p")->int_value, 2);
 }
 
+TEST_F(QueryEndpointTest, AnalyzeEndpointReportsStaticAnalysis) {
+  const int port = StartServer();
+  // The fixture program `tick(0). tick(T+128) :- tick(T).` is an EDB-seeded
+  // self-delay predicate: the flow analysis certifies period divisor 128.
+  const std::string response = Get(port, "/analyze?db=default");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << json.status() << "\n" << response;
+  EXPECT_EQ(json->Find("database")->string_value, "default");
+  EXPECT_FALSE(json->Find("bounded")->bool_value);
+  EXPECT_EQ(json->Find("period_divisor")->int_value, 128);
+  ASSERT_TRUE(json->Find("predicates")->is_array());
+  ASSERT_EQ(json->Find("predicates")->array.size(), 1u);
+  EXPECT_EQ(json->Find("predicates")->array[0].Find("name")->string_value,
+            "tick");
+  ASSERT_TRUE(json->Find("diagnostics")->is_array());
+  EXPECT_FALSE(json->Find("diagnostics")->array.empty());
+}
+
+TEST_F(QueryEndpointTest, AnalyzeEndpointDefaultsToTheDefaultDatabase) {
+  const int port = StartServer();
+  const std::string response = Get(port, "/analyze");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  auto json = ParseJson(Body(response));
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_EQ(json->Find("database")->string_value, "default");
+}
+
+TEST_F(QueryEndpointTest, AnalyzeEndpointUnknownDatabaseIs404) {
+  const int port = StartServer();
+  const std::string response = Get(port, "/analyze?db=nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos) << response;
+  // The error lists the registered names, same contract as POST /query.
+  EXPECT_NE(response.find("\"default\""), std::string::npos) << response;
+}
+
 TEST_F(QueryEndpointTest, RegistryRejectsDuplicatesAndBadPrograms) {
   EXPECT_EQ(registry_.AddFromSource("default", "p(0).").code(),
             StatusCode::kFailedPrecondition);

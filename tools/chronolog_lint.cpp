@@ -6,7 +6,12 @@
 // underivable predicates, and explained tractability-classification
 // failures (multi-separability, progressivity, optionally the Theorem 5.2
 // inflationary decision procedure). Every diagnostic carries a
-// file:line:column span and a stable code (L001..L012, P001).
+// file:line:column span and a stable code (L001..L013, P001).
+//
+// With --analyze it additionally runs the chronolog_flow static analyses
+// (src/analysis/dataflow.h): temporal-offset bounds, polynomial degrees
+// and binding-pattern join-order priors, reported as A001..A008
+// diagnostics plus a summary block (text) or an "analysis" object (JSON).
 //
 // Usage:
 //   chronolog-lint [flags] input.tdl [more.tdl ...]
@@ -16,7 +21,9 @@
 //   --strict              promote warnings to errors for the exit code
 //   --no-classify         skip the classification passes (L009-L011)
 //   --check-inflationary  run the Theorem 5.2 procedure (builds models)
-//   --root=PRED           query root for reachability (repeatable)
+//   --analyze             run the chronolog_flow analyses (A001-A008)
+//   --degree-budget=N     degree budget for A005 warnings (default 8)
+//   --root=PRED           query root for reachability and adornments
 //   --disable=PASS        skip a pass by name (repeatable)
 //   --list-passes         print the pass registry and exit
 //
@@ -24,12 +31,14 @@
 // 2 parse error, 3 lint errors (or warnings under --strict).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "analysis/lint.h"
 #include "ast/parser.h"
 #include "util/log.h"
@@ -49,13 +58,23 @@ void PrintUsage() {
       "  --strict              promote warnings to errors (exit code)\n"
       "  --no-classify         skip classification passes (L009-L011)\n"
       "  --check-inflationary  run the Theorem 5.2 decision procedure\n"
-      "  --root=PRED           query root for reachability (repeatable)\n"
+      "  --analyze             run the chronolog_flow analyses (A001-A008)\n"
+      "  --degree-budget=N     degree budget for A005 warnings (default 8)\n"
+      "  --root=PRED           query root for reachability and adornments\n"
       "  --disable=PASS        skip a pass by name (repeatable)\n"
       "  --list-passes         print the pass registry and exit\n");
 }
 
 void ListPasses() {
   for (const chronolog::LintPassInfo& pass : chronolog::LintPassRegistry()) {
+    std::printf("%-16s %-16s %s\n",
+                std::string(pass.name).c_str(),
+                std::string(pass.codes).c_str(),
+                std::string(pass.description).c_str());
+  }
+  // The flow analyses run under --analyze; listed here so one invocation
+  // shows the full diagnostic surface (L-codes and A-codes).
+  for (const chronolog::LintPassInfo& pass : chronolog::FlowPassRegistry()) {
     std::printf("%-16s %-16s %s\n",
                 std::string(pass.name).c_str(),
                 std::string(pass.codes).c_str(),
@@ -68,8 +87,10 @@ void ListPasses() {
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   chronolog::LintOptions options;
+  chronolog::FlowOptions flow_options;
   bool json = false;
   bool strict = false;
+  bool analyze = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json") == 0) {
@@ -80,8 +101,20 @@ int main(int argc, char** argv) {
       options.classify = false;
     } else if (std::strcmp(arg, "--check-inflationary") == 0) {
       options.check_inflationary = true;
+    } else if (std::strcmp(arg, "--analyze") == 0) {
+      analyze = true;
+    } else if (std::strncmp(arg, "--degree-budget=", 16) == 0) {
+      char* end = nullptr;
+      const long budget = std::strtol(arg + 16, &end, 10);
+      if (end == arg + 16 || *end != '\0' || budget < 0) {
+        chronolog::LogError("lint.bad_flag_value").Str("flag", arg);
+        PrintUsage();
+        return kExitUsage;
+      }
+      flow_options.degree_budget = static_cast<int>(budget);
     } else if (std::strncmp(arg, "--root=", 7) == 0) {
       options.roots.push_back(arg + 7);
+      flow_options.roots.push_back(arg + 7);
     } else if (std::strncmp(arg, "--disable=", 10) == 0) {
       options.disabled_passes.push_back(arg + 10);
     } else if (std::strcmp(arg, "--list-passes") == 0) {
@@ -146,14 +179,41 @@ int main(int argc, char** argv) {
 
   chronolog::LintResult result =
       chronolog::LintProgram(unit->program, unit->database, options);
+  std::string analysis_json;
+  std::string analysis_summary;
+  if (analyze) {
+    const chronolog::FlowAnalysis flow = chronolog::AnalyzeProgram(
+        unit->program, unit->database, flow_options);
+    // The A-series findings join the lint diagnostics (one sorted stream,
+    // one exit-code policy); the structural results travel separately as a
+    // summary block / "analysis" JSON object.
+    for (chronolog::Diagnostic diag : flow.diagnostics) {
+      if (inputs.size() == 1) diag.span.file = inputs[0];
+      result.diagnostics.push_back(std::move(diag));
+    }
+    chronolog::SortDiagnostics(&result.diagnostics);
+    analysis_json = flow.ToJson(unit->program);
+    analysis_summary = flow.Summary(unit->program);
+  }
   if (json) {
-    std::printf("%s\n", result.ToJson().c_str());
-  } else if (result.diagnostics.empty()) {
-    std::printf("clean: %zu rule(s), %zu fact(s), no diagnostics\n",
-                unit->program.rules().size(),
-                unit->database.facts().size());
+    std::string out = result.ToJson();
+    if (analyze) {
+      // Splice the analysis object into the lint report:
+      // {"analysis":{...},"diagnostics":[...],...}
+      out.insert(1, "\"analysis\":" + analysis_json + ",");
+    }
+    std::printf("%s\n", out.c_str());
   } else {
-    std::printf("%s", result.ToString().c_str());
+    if (result.diagnostics.empty()) {
+      std::printf("clean: %zu rule(s), %zu fact(s), no diagnostics\n",
+                  unit->program.rules().size(),
+                  unit->database.facts().size());
+    } else {
+      std::printf("%s", result.ToString().c_str());
+    }
+    if (analyze) {
+      std::printf("%s", analysis_summary.c_str());
+    }
   }
 
   const std::size_t errors =
