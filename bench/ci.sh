@@ -7,11 +7,13 @@
 # binary is present), a metrics-liveness check of the
 # chronolog_obs instrumentation, a perf smoke gate comparing two BT hot-path
 # benchmarks plus the loopback POST /query round-trips (close-per-request
-# and keep-alive) against the committed BENCH_PR8.json baseline, a
+# and keep-alive) against the committed BENCH_PR10.json baseline, a
 # chronolog-serve gate (Prometheus exposition + Chrome trace + POST /query
 # answers cross-checked against the tddsh REPL oracle — once over
 # close-per-request connections, once over a single persistent HTTP/1.1
-# connection with the reuse counters asserted — + no-5xx assertion + clean
+# connection with the reuse counters asserted — + request-id round-trip
+# into response/slow-log/trace, a /statements scrape with exact shape
+# counts, an /explain rewrite cross-check, no-5xx assertion + clean
 # SIGINT shutdown), an
 # AddressSanitizer/UBSan build
 # (CHRONOLOG_SANITIZE, see CMakeLists.txt) with a full ctest run, and a
@@ -134,14 +136,14 @@ PY
 # Perf smoke gate: two representative BT benchmarks (the even-chain depth
 # sweep and the random-graph path workload) plus the single-client POST
 # /query round-trips — close-per-request and keep-alive at 256 requests per
-# connection — against the committed BENCH_PR8.json baseline. A median
+# connection — against the committed BENCH_PR10.json baseline. A median
 # above the per-benchmark limit fails — a cheap tripwire for accidental
 # hot-path regressions, not a full bench run. The serve round-trips get a
 # wider limit (1.5x) because loopback latency on shared CI hosts is far
 # noisier than the in-process BT workloads.
 # Set CHRONOLOG_SKIP_PERF_GATE=1 on hosts that are slower than the baseline
 # machine (the committed medians are host-specific).
-echo "== perf smoke gate (hot paths vs BENCH_PR8.json) =="
+echo "== perf smoke gate (hot paths vs BENCH_PR10.json) =="
 if [[ "${CHRONOLOG_SKIP_PERF_GATE:-0}" == 1 ]]; then
   echo "perf gate: skipped (CHRONOLOG_SKIP_PERF_GATE=1)"
 else
@@ -160,7 +162,7 @@ else
     --benchmark_out="$BUILD_DIR/perf_smoke_serve.json" \
     --benchmark_out_format=json >/dev/null
   python3 - "$BUILD_DIR/perf_smoke.json" "$BUILD_DIR/perf_smoke_serve.json" \
-    BENCH_PR8.json <<'PY'
+    BENCH_PR10.json <<'PY'
 import json
 import sys
 
@@ -215,10 +217,13 @@ fi
 echo "== serve gate (chronolog-serve scrape) =="
 SERVE="$BUILD_DIR/tools/chronolog-serve"
 SERVE_PORT_FILE="$BUILD_DIR/serve_port"
-rm -f "$SERVE_PORT_FILE"
+SERVE_LOG="$BUILD_DIR/serve_gate.log"
+rm -f "$SERVE_PORT_FILE" "$SERVE_LOG"
+# --slow-query-ms=0 turns the slow-query log into an every-query log, so the
+# request-id round-trip below can assert its structured line appeared.
 "$SERVE" --port=0 --port-file="$SERVE_PORT_FILE" \
-  --query='exists T (tok(T, a0))' \
-  tests/data/token_ring.tdl >/dev/null &
+  --query='exists T (tok(T, a0))' --slow-query-ms=0 \
+  tests/data/token_ring.tdl >/dev/null 2>"$SERVE_LOG" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   [[ -s "$SERVE_PORT_FILE" ]] && break
@@ -410,8 +415,105 @@ print(f"serve gate: keep-alive connection served {requests_on_conn} "
       f"requests (connections_reused={reused:.0f}), answers stable, "
       f"no 5xx responses")
 PY
+
+# chronolog_qstats leg: one query with a client-supplied request id must be
+# traceable end-to-end — echoed in the response JSON, sliced out of
+# /trace?request=ID, and counted under its normalized shape in /statements
+# (reset first, so the counts are exact, not dependent on the earlier
+# legs). /explain for the same query must report the same rewrite rule the
+# tddsh oracle printed, without executing (its call must NOT appear in the
+# statement counts). The structured query.slow log line is asserted after
+# shutdown, once the server has flushed and exited.
+python3 - "$(cat "$SERVE_PORT_FILE")" "$ORACLE_OUT" <<'PY'
+import json
+import re
+import sys
+import urllib.request
+
+port, oracle_path = sys.argv[1], sys.argv[2]
+REQUEST_ID = "ci-qstats-1"
+
+
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+        return resp.read().decode()
+
+
+def post(path, body, request_id=None):
+    headers = {"Content-Type": "application/json"}
+    if request_id is not None:
+        headers["X-Request-Id"] = request_id
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=body.encode(),
+        headers=headers, method="POST")
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read().decode())
+
+
+with open(oracle_path) as fh:
+    oracle_text = fh.read()
+rewrite = re.search(r"rewrite rule (\d+) -> 0:.*t \+ (\d+)k", oracle_text)
+assert rewrite, "serve gate: tddsh oracle printed no rewrite"
+
+# Fresh statement window, then two tracked queries of known shapes.
+get("/statements?reset=1")
+answer = post("/query", '{"query":"tok(T, a0)"}', REQUEST_ID)
+assert answer["request_id"] == REQUEST_ID, answer
+other = post("/query", '{"query":"exists T (tok(T, a1))"}')
+assert other["request_id"].startswith("q-"), other  # server-generated id
+
+# The request id slices the trace down to this query's spans.
+trace = json.loads(get(f"/trace?request={REQUEST_ID}"))
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+assert spans, "serve gate: /trace?request= returned no spans"
+for span in spans:
+    assert span["args"]["request"] == REQUEST_ID, span
+
+# EXPLAIN agrees with the tddsh oracle on the rewrite rule — and does not
+# execute, so it must not advance the statement counts.
+explain = post("/explain", '{"query":"tok(T, a0)"}', "ci-explain-1")
+assert explain["request_id"] == "ci-explain-1", explain
+assert explain["executed"] is False, explain
+assert explain["shape"] == "tok(T, ?)", explain
+assert explain["rewrite"]["lhs"] == int(rewrite.group(1)), explain
+assert explain["rewrite"]["p"] == int(rewrite.group(2)), explain
+assert explain["plans"], "serve gate: /explain reported no rule plans"
+
+stats = json.loads(get("/statements"))
+by_shape = {s["shape"]: s for s in stats["statements"]}
+assert set(by_shape) == {"tok(T, ?)", "exists T (tok(T, ?))"}, by_shape
+assert by_shape["tok(T, ?)"]["calls"] == 1, by_shape
+assert by_shape["exists T (tok(T, ?))"]["calls"] == 1, by_shape
+assert by_shape["tok(T, ?)"]["eval_ns"]["count"] == 1, by_shape
+assert by_shape["tok(T, ?)"]["eval_ns"]["p50"] > 0, by_shape
+
+print(f"serve gate: request id {REQUEST_ID} round-tripped through "
+      f"response JSON, {len(spans)} trace spans, and /statements; "
+      f"/explain rewrite matches the tddsh oracle")
+PY
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"  # non-zero exit (unclean shutdown) fails the gate via set -e
+
+# The structured slow-query log (--slow-query-ms=0 logs every served query):
+# exactly one query.slow line carries the client-supplied request id, and it
+# names the normalized shape, never the raw query text.
+python3 - "$SERVE_LOG" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    lines = [json.loads(l) for l in fh if l.strip().startswith("{")]
+slow = [l for l in lines if l.get("event") == "query.slow"]
+assert slow, "serve gate: --slow-query-ms=0 produced no query.slow lines"
+mine = [l for l in slow if l.get("request_id") == "ci-qstats-1"]
+assert len(mine) == 1, f"expected exactly one line for ci-qstats-1: {mine}"
+line = mine[0]
+assert line["shape"] == "tok(T, ?)", line
+assert "a0" not in json.dumps(line), line  # constants stay out of the log
+assert line["eval_ms"] >= 0 and line["deadline_ms"] == 1000, line
+print(f"serve gate: {len(slow)} query.slow lines, request id present "
+      f"with shape {line['shape']!r}")
+PY
 echo "serve gate: ok"
 
 echo "== sanitizer build + tests ($SAN_BUILD_DIR) =="
@@ -434,6 +536,6 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
 CHRONOLOG_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log|Columnar|JoinPlan|QueryEndpoint'
+  -R 'Parallel|Snapshot|Metrics|EvalStats|PeriodEquivalence|Engine|Lint|Http|Obs|Log|Columnar|JoinPlan|QueryEndpoint|Statement'
 
 echo "ci.sh: all checks passed"

@@ -13,7 +13,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR${BENCH_PR:-8}.json}"
+OUT="${2:-BENCH_PR${BENCH_PR:-10}.json}"
 REPS="${BENCH_REPETITIONS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT

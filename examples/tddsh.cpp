@@ -13,6 +13,8 @@
 //   .describe                    classification, period, spec sizes
 //   .spec                        prints the relational specification (T,B,W)
 //   .explain plane(7, hunter)    renders a derivation (proof tree)
+//   .explain ?- plane(T, X)      EXPLAIN: shape, rewrite rule, join plans
+//                                for a query — without executing it
 //   .save out.spec               serialises the compiled specification
 //   .timeline plane              populated snapshots of one predicate
 //   .unfold 20 plane(T, X)       concrete answers up to time 20
@@ -36,8 +38,11 @@
 #include <string>
 #include <vector>
 
+#include "ast/printer.h"
 #include "core/engine.h"
 #include "query/answers.h"
+#include "query/query_parser.h"
+#include "query/query_shape.h"
 #include "spec/serialize.h"
 #include "spec/specification.h"
 #include "util/log.h"
@@ -217,7 +222,64 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line.rfind(":explain ", 0) == 0) {
-      auto proof = engine->Explain(line.substr(9));
+      std::string arg = line.substr(9);
+      std::size_t arg_start = arg.find_first_not_of(' ');
+      if (arg_start != std::string::npos && arg_start > 0) {
+        arg = arg.substr(arg_start);
+      }
+      if (arg.rfind("?-", 0) == 0) {
+        // Query EXPLAIN (chronolog_qstats): the plan that would answer the
+        // query — shape, rewrite rule, join plans — without executing it.
+        std::string query = arg.substr(2);
+        if (!query.empty() && query.back() == '.') query.pop_back();
+        auto spec = engine->specification();
+        if (!spec.ok()) {
+          std::printf("error: %s\n", spec.status().ToString().c_str());
+          continue;
+        }
+        auto parsed = chronolog::ParseQuery(query, engine->vocab());
+        if (!parsed.ok()) {
+          std::printf("error: %s\n", parsed.status().ToString().c_str());
+          continue;
+        }
+        std::printf("shape: %s\n",
+                    chronolog::NormalizeQueryShape(query).c_str());
+        std::printf("rewrite rule %lld -> %lld (period b=%lld p=%lld, "
+                    "%lld representatives)\n",
+                    static_cast<long long>((*spec)->rewrite_lhs()),
+                    static_cast<long long>((*spec)->rewrite_lhs() -
+                                           (*spec)->period().p),
+                    static_cast<long long>((*spec)->period().b),
+                    static_cast<long long>((*spec)->period().p),
+                    static_cast<long long>((*spec)->num_representatives()));
+        const chronolog::RulePlanReport& plans = engine->spec_info().plans;
+        const auto& rules = engine->program().rules();
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+          std::printf("rule %zu: %s\n", i,
+                      chronolog::RuleToString(rules[i], engine->vocab())
+                          .c_str());
+          if (i >= plans.size() || plans[i].empty()) {
+            std::printf("  (no cached plan — rule never drove a join)\n");
+            continue;
+          }
+          for (const auto& slot : plans[i]) {
+            std::printf("  delta=%d time_bound=%s order=[", slot.delta_pos,
+                        slot.time_bound ? "yes" : "no");
+            for (std::size_t k = 0; k < slot.order.size(); ++k) {
+              std::printf("%s%u", k > 0 ? " " : "", slot.order[k]);
+            }
+            std::printf("] est=%.2f steps/emit", slot.est_steps_per_emit);
+            if (slot.observed_emits > 0) {
+              std::printf(" observed=%.2f",
+                          static_cast<double>(slot.observed_steps) /
+                              static_cast<double>(slot.observed_emits));
+            }
+            std::printf("\n");
+          }
+        }
+        continue;
+      }
+      auto proof = engine->Explain(arg);
       if (!proof.ok()) {
         std::printf("error: %s\n", proof.status().ToString().c_str());
       } else {

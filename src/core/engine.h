@@ -62,6 +62,10 @@ struct EngineOptions {
   /// null-pointer branch per site (benchmarked < 2% on the spec-build
   /// suite, see DESIGN.md).
   bool collect_metrics = false;
+  /// Capacity of the engine-owned TraceBuffer (spans beyond it are counted
+  /// as dropped, not stored). Only meaningful with `collect_metrics`;
+  /// chronolog-serve exposes it as `--trace-capacity=N`.
+  std::size_t trace_capacity = 1 << 16;
   /// Threshold for this engine's structured log events (src/util/log.h,
   /// JSON lines: lint summaries, specification-build outcomes). Unset
   /// inherits the process-wide level — $CHRONOLOG_LOG_LEVEL, default warn —
@@ -121,6 +125,11 @@ class TemporalDatabase {
   /// exceeds the configured horizon.
   Result<const RelationalSpecification*> specification();
 
+  /// Build-time facts about the cached specification — detection stats and
+  /// the join plans its fixpoints executed (EXPLAIN's plan source). Only
+  /// meaningful after a successful specification() call; empty before.
+  const SpecificationBuildInfo& spec_info() const { return spec_info_; }
+
   /// Yes-no query for a ground atom, answered through the relational
   /// specification: O(parse + rewrite + lookup) per call after the first.
   Result<bool> Ask(std::string_view ground_atom);
@@ -179,7 +188,7 @@ class TemporalDatabase {
       // raw pointers stored in the option structs stay valid across moves
       // of this object — unique_ptr moves transfer the pointee untouched).
       metrics_ = std::make_unique<MetricsRegistry>();
-      trace_ = std::make_unique<TraceBuffer>();
+      trace_ = std::make_unique<TraceBuffer>(options_.trace_capacity);
       options_.period.metrics = metrics_.get();
       options_.period.trace = trace_.get();
       options_.inflationary_check.metrics = metrics_.get();

@@ -311,6 +311,15 @@ Status RunSemiNaiveRounds(const Program& program,
     }
     delta = std::move(next_delta);
   }
+  if (options.plan_report != nullptr) {
+    // Snapshot the executed join plans before the evaluators die. Overwrites
+    // wholesale: when the doubling detector runs several fixpoints, the last
+    // (widest-horizon) one's plans are the ones EXPLAIN should show.
+    options.plan_report->assign(program.rules().size(), {});
+    for (std::size_t i = 0; i < evaluators.size(); ++i) {
+      evaluators[i].ExportPlans(&(*options.plan_report)[i]);
+    }
+  }
   return Status();
 }
 

@@ -51,6 +51,11 @@ struct FixpointOptions {
   /// rule on greedy selectivity planning. Must outlive the fixpoint call.
   /// Plans never affect results, only cost (see RuleEvaluator).
   const JoinOrderPriors* plan_priors = nullptr;
+  /// When non-null, the semi-naive evaluator snapshots its cached join
+  /// plans into `*plan_report` (overwriting it wholesale, indexed like
+  /// Program::rules()) just before its evaluators are destroyed — the raw
+  /// material of EXPLAIN. The naive reference path ignores this.
+  RulePlanReport* plan_report = nullptr;
 };
 
 /// One application of the immediate-consequence operator:

@@ -99,13 +99,14 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
 
   // Phase 0: non-temporal closure (plain Datalog fixpoint; buffered inserts
   // keep the evaluator's iterators valid). Evaluators are built once, ahead
-  // of the loop, so their join plans survive across passes.
+  // of the loop, so their join plans survive across passes. Kept alive to
+  // the end of the function so plan_report can snapshot them.
+  std::vector<RuleEvaluator> nt_evaluators;
+  nt_evaluators.reserve(nt_rules.size());
+  for (const Rule* rule : nt_rules) {
+    nt_evaluators.emplace_back(*rule, vocab, /*use_index=*/true, metrics);
+  }
   {
-    std::vector<RuleEvaluator> nt_evaluators;
-    nt_evaluators.reserve(nt_rules.size());
-    for (const Rule* rule : nt_rules) {
-      nt_evaluators.emplace_back(*rule, vocab, /*use_index=*/true, metrics);
-    }
     bool changed = true;
     while (changed) {
       changed = false;
@@ -291,6 +292,21 @@ Result<ForwardResult> ForwardSimulate(const Program& program,
     }
     result.period.b = std::max<int64_t>(0, k - c);
     result.period.p = p;
+    if (options.plan_report != nullptr) {
+      // Snapshot executed join plans for EXPLAIN. Rule index = pointer
+      // offset into program.rules(), which nt_rules/t_rules partitioned.
+      options.plan_report->assign(program.rules().size(), {});
+      const Rule* base = program.rules().data();
+      for (std::size_t i = 0; i < nt_rules.size(); ++i) {
+        nt_evaluators[i].ExportPlans(
+            &(*options.plan_report)[static_cast<std::size_t>(nt_rules[i] -
+                                                             base)]);
+      }
+      for (const TemporalRule& tr : temporal_rules) {
+        tr.evaluator.ExportPlans(
+            &(*options.plan_report)[static_cast<std::size_t>(tr.rule - base)]);
+      }
+    }
     return result;
   }
 }

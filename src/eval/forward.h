@@ -57,6 +57,10 @@ struct ForwardOptions {
   /// Observability sinks (chronolog_obs); null disables collection.
   MetricsRegistry* metrics = nullptr;
   TraceBuffer* trace = nullptr;
+  /// When non-null, a successful simulation snapshots its cached join plans
+  /// into `*plan_report` (overwritten wholesale, indexed like
+  /// Program::rules()) before returning — the raw material of EXPLAIN.
+  RulePlanReport* plan_report = nullptr;
 };
 
 /// Result of a forward simulation run.

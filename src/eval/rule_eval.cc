@@ -326,6 +326,30 @@ std::vector<uint32_t> RuleEvaluator::PlanOrderForTest(int delta_pos,
   return order;
 }
 
+void RuleEvaluator::ExportPlans(std::vector<PlanSlotReport>* out) const {
+  for (std::size_t slot = 0; slot < plans_->slots.size(); ++slot) {
+    const JoinPlan* plan =
+        plans_->slots[slot].load(std::memory_order_acquire);
+    if (plan == nullptr) continue;
+    PlanSlotReport report;
+    // Inverse of SlotKey: slot = (delta_pos + 1) * 2 + time_bound.
+    report.delta_pos = static_cast<int>(slot / 2) - 1;
+    report.time_bound = (slot % 2) != 0;
+    report.order.reserve(plan->steps.size());
+    report.probe_cols.reserve(plan->steps.size());
+    for (const JoinPlan::Step& s : plan->steps) {
+      report.order.push_back(s.pos);
+      report.probe_cols.push_back(s.probe_col);
+    }
+    report.est_steps_per_emit = plan->est_steps_per_emit;
+    report.observed_steps =
+        plan->observed_steps.load(std::memory_order_relaxed);
+    report.observed_emits =
+        plan->observed_emits.load(std::memory_order_relaxed);
+    out->push_back(std::move(report));
+  }
+}
+
 void RuleEvaluator::Evaluate(
     const Interpretation& full, const Interpretation* delta, int delta_pos,
     std::optional<std::pair<VarId, int64_t>> time_binding, EvalStats* stats,

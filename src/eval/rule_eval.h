@@ -23,6 +23,26 @@ class MetricsRegistry;
 /// FixpointOptions::plan_priors.
 using JoinOrderPriors = std::vector<std::vector<uint32_t>>;
 
+/// Snapshot of one cached join plan, exported for EXPLAIN (serve's
+/// `POST /explain`, tddsh `.explain ?-`). One report per built
+/// (delta position, time-bound) slot: the executed atom order, the planned
+/// probe columns (-1 = scan), and the estimated vs observed
+/// steps-per-emission that drive drift re-planning.
+struct PlanSlotReport {
+  int delta_pos = -1;    // -1 = no delta restriction (naive / first round)
+  bool time_bound = false;
+  std::vector<uint32_t> order;      // body-atom indexes in execution order
+  std::vector<int32_t> probe_cols;  // parallel to `order`
+  double est_steps_per_emit = 0;
+  uint64_t observed_steps = 0;
+  uint64_t observed_emits = 0;
+};
+
+/// Plan reports for a whole program, indexed like Program::rules(): entry i
+/// lists the built plan slots of rule i's evaluator (empty when the rule was
+/// never planned — e.g. its predicate never gained facts).
+using RulePlanReport = std::vector<std::vector<PlanSlotReport>>;
+
 /// Counters accumulated by the evaluators. `derived` counts every emitted
 /// head instantiation (before deduplication); `inserted` counts facts that
 /// were new; `match_steps` counts tuple-match attempts (a machine-independent
@@ -132,6 +152,13 @@ class RuleEvaluator {
   /// introspection for determinism and planner-behaviour checks.
   std::vector<uint32_t> PlanOrderForTest(int delta_pos,
                                          bool time_bound) const;
+
+  /// Appends one PlanSlotReport per built plan slot to `out` (built slots
+  /// only; an evaluator that never ran appends nothing). Snapshots the
+  /// *current* plan of each slot — the one the next evaluation would run —
+  /// with its cumulative observation counters. Safe to call while
+  /// evaluations are in flight (acquire loads, relaxed counter reads).
+  void ExportPlans(std::vector<PlanSlotReport>* out) const;
 
   /// Installs a static join-order prior: the *first* plan built for each
   /// configuration follows `order` (a permutation of the body positions;

@@ -274,6 +274,9 @@ Result<QueryAnswer> EvaluateQueryOverSpec(
     rows_truncated = options.metrics->counter("query.rows_truncated");
   }
   if (evaluations != nullptr) evaluations->Add();
+  // The request scope wraps the whole evaluation so every span it records
+  // (query.eval and anything nested) is sliceable by request id.
+  TraceScope scope(options.trace, options.request_id);
   TraceSpan span(options.trace, "query.eval");
   PhaseTimer latency_timer(latency_hist != nullptr, nullptr, latency_hist);
 
@@ -282,15 +285,23 @@ Result<QueryAnswer> EvaluateQueryOverSpec(
   for (int64_t t = 0; t < spec.num_representatives(); ++t) {
     temporal_domain.push_back(t);
   }
-  auto oracle = [&spec, lookups, rewrite_steps](const GroundAtom& atom) {
+  // Per-request counters accumulate unconditionally (the statement store
+  // and slow-query log consume them even when no registry is attached); the
+  // global `query.*` counters ride along when metrics are on.
+  uint64_t local_lookups = 0;
+  uint64_t local_rewrites = 0;
+  auto oracle = [&spec, &local_lookups, &local_rewrites, lookups,
+                 rewrite_steps](const GroundAtom& atom) {
+    ++local_lookups;
     if (lookups != nullptr) lookups->Add();
-    if (rewrite_steps != nullptr &&
-        spec.primary().vocab().predicate(atom.pred).is_temporal &&
+    if (spec.primary().vocab().predicate(atom.pred).is_temporal &&
         atom.time >= spec.rewrite_lhs()) {
       // Number of `lhs -> lhs - p` applications Canonicalize folds to bring
       // `t` below the rewrite threshold.
-      rewrite_steps->Add(static_cast<uint64_t>(
-          (atom.time - spec.rewrite_lhs()) / spec.period().p + 1));
+      const uint64_t steps = static_cast<uint64_t>(
+          (atom.time - spec.rewrite_lhs()) / spec.period().p + 1);
+      local_rewrites += steps;
+      if (rewrite_steps != nullptr) rewrite_steps->Add(steps);
     }
     return spec.Ask(atom);
   };
@@ -301,6 +312,8 @@ Result<QueryAnswer> EvaluateQueryOverSpec(
                                    spec.rewrite_lhs(), spec.period().p,
                                    options.max_rows);
   if (answer.ok()) {
+    answer->oracle_lookups = local_lookups;
+    answer->rewrite_steps = local_rewrites;
     if (answers_hist != nullptr) {
       answers_hist->RecordValue(answer->free_var_names.empty()
                                     ? (answer->boolean ? 1 : 0)

@@ -42,6 +42,11 @@ struct QueryEvalOptions {
   /// assignments have been collected and the answer carries
   /// `QueryAnswer::truncated`. 0 = unlimited.
   uint64_t max_rows = 0;
+  /// Request id for per-request observability (chronolog_qstats): when set
+  /// (and `trace` is non-null), the evaluation runs inside a TraceScope so
+  /// its spans can be sliced out of the shared buffer by request id
+  /// (`GET /trace?request=ID`). Empty = unscoped.
+  std::string request_id;
 };
 
 /// Caller-facing limit knobs (the serving layer's per-query budget; see
@@ -92,6 +97,12 @@ struct QueryAnswer {
   /// `max_rows` was reached: `rows` is exact but enumeration stopped, so
   /// further satisfying assignments may exist.
   bool truncated = false;
+  /// Per-request cost accounting (chronolog_qstats): ground-atom lookups
+  /// against `B` and `W`-rule applications folded by canonicalisation during
+  /// this evaluation. Always counted (independent of `metrics`); the
+  /// statement-statistics store and the slow-query log read these.
+  uint64_t oracle_lookups = 0;
+  uint64_t rewrite_steps = 0;
 
   std::string ToString(const Vocabulary& vocab) const;
 };

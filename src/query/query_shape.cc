@@ -1,0 +1,125 @@
+#include "query/query_shape.h"
+
+#include <vector>
+
+#include "ast/lexer.h"
+
+namespace chronolog {
+
+namespace {
+
+bool IsQueryKeyword(const Token& tok) {
+  return tok.kind == TokenKind::kIdent &&
+         (tok.text == "exists" || tok.text == "forall" || tok.text == "and" ||
+          tok.text == "or" || tok.text == "not");
+}
+
+std::string TrimmedCopy(std::string_view text) {
+  std::size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) return "";
+  std::size_t end = text.find_last_not_of(" \t\r\n");
+  return std::string(text.substr(begin, end - begin + 1));
+}
+
+}  // namespace
+
+std::string NormalizeQueryShape(std::string_view query_text) {
+  Result<std::vector<Token>> tokens = Tokenize(query_text);
+  if (!tokens.ok()) return TrimmedCopy(query_text);
+
+  std::string out;
+  out.reserve(query_text.size());
+  char prev = '\0';            // last character appended, '\0' at the start
+  bool prev_was_pred = false;  // predicate name — its '(' binds tight
+  auto append = [&out, &prev, &prev_was_pred](std::string_view piece,
+                                              bool is_pred = false) {
+    if (piece.empty()) return;
+    // Canonical spacing: tokens are space-separated except around tight
+    // punctuation — nothing before ) , + or a predicate's argument-list (,
+    // and nothing after ( ~ +.
+    const char first = piece.front();
+    const bool tight_left = first == ')' || first == ',' || first == '+' ||
+                            (first == '(' && prev_was_pred);
+    const bool tight_right = prev == '(' || prev == '~' || prev == '+';
+    if (prev != '\0' && !tight_left && !tight_right) out += ' ';
+    out += piece;
+    prev = piece.back();
+    prev_was_pred = is_pred;
+  };
+
+  const std::vector<Token>& toks = *tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    switch (tok.kind) {
+      case TokenKind::kEof:
+        break;
+      case TokenKind::kInt:
+        append("N");
+        break;
+      case TokenKind::kIdent: {
+        // Keywords and predicate names (ident followed by '(') survive;
+        // connective keywords canonicalise to their symbol spelling; every
+        // other identifier is a constant and is stripped.
+        if (tok.text == "and") {
+          append(",");
+        } else if (tok.text == "or") {
+          append("|");
+        } else if (tok.text == "not") {
+          append("~");
+        } else if (IsQueryKeyword(tok)) {
+          append(tok.text);
+        } else if (i + 1 < toks.size() &&
+                   toks[i + 1].kind == TokenKind::kLParen) {
+          append(tok.text, /*is_pred=*/true);
+        } else {
+          append("?");
+        }
+        break;
+      }
+      case TokenKind::kVar:
+        append(tok.text);
+        break;
+      case TokenKind::kLParen:
+        append("(");
+        break;
+      case TokenKind::kRParen:
+        append(")");
+        break;
+      case TokenKind::kComma:
+        append(",");
+        break;
+      case TokenKind::kDot:
+        append(".");
+        break;
+      case TokenKind::kColonDash:
+        append(":-");
+        break;
+      case TokenKind::kPlus:
+        append("+");
+        break;
+      case TokenKind::kAt:
+        append("@");
+        break;
+      case TokenKind::kSlash:
+        append("/");
+        break;
+      case TokenKind::kAmp:
+        append(",");  // conjunction: & and , are the same connective
+        break;
+      case TokenKind::kPipe:
+        append("|");
+        break;
+      case TokenKind::kTilde:
+        append("~");
+        break;
+      case TokenKind::kEq:
+        append("=");
+        break;
+    }
+  }
+  // Comment-only or otherwise token-free text would make an empty (and
+  // useless) aggregation key; fall back to the raw text like a lex failure.
+  return out.empty() ? TrimmedCopy(query_text) : out;
+}
+
+}  // namespace chronolog

@@ -1,0 +1,31 @@
+#ifndef CHRONOLOG_QUERY_QUERY_SHAPE_H_
+#define CHRONOLOG_QUERY_QUERY_SHAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace chronolog {
+
+/// Normalizes a query to its *shape* — the pg_stat_statements-style key of
+/// the statement-statistics store (chronolog_qstats). Two queries share a
+/// shape when they differ only in constants:
+///
+///   tok(3, a0)            -> tok(N, ?)
+///   tok(17, a5)           -> tok(N, ?)
+///   exists T (tok(T, a0)) -> exists T (tok(T, ?))
+///
+/// Concretely: the query is tokenized with the shared lexer, every integer
+/// literal becomes `N` and every constant identifier becomes `?`; predicate
+/// names, variables, quantifiers, connectives and parenthesisation are kept,
+/// and spacing is canonicalised — so the shape is also insensitive to
+/// whitespace and to the keyword/symbol spelling of connectives
+/// (`and` vs `&` etc. are canonicalised to the symbols).
+///
+/// A query that fails to tokenize falls back to its whitespace-trimmed raw
+/// text (such queries are rejected later by the parser anyway; the fallback
+/// only keeps malformed inputs from aliasing each other onto one shape).
+std::string NormalizeQueryShape(std::string_view query_text);
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_QUERY_QUERY_SHAPE_H_

@@ -131,6 +131,8 @@ struct RequestHeaders {
   /// reasoning, same 400.
   bool has_transfer_encoding = false;
   bool connection_close = false;
+  /// Trimmed X-Request-Id value (chronolog_qstats); empty when absent.
+  std::string request_id;
 };
 
 RequestHeaders ParseRequestHeaders(std::string_view headers) {
@@ -155,6 +157,8 @@ RequestHeaders ParseRequestHeaders(std::string_view headers) {
       }
     } else if (EqualsIgnoreCase(name, "transfer-encoding")) {
       out.has_transfer_encoding = true;
+    } else if (EqualsIgnoreCase(name, "x-request-id")) {
+      out.request_id.assign(value);
     } else if (EqualsIgnoreCase(name, "connection")) {
       // Comma-separated option list; "close" anywhere in it wins.
       std::size_t start = 0;
@@ -442,9 +446,10 @@ bool HttpServer::ServeOneRequest(int client_fd, std::string* carry,
     parsed.query = target.substr(qmark + 1);
   }
 
-  const RequestHeaders headers = ParseRequestHeaders(
+  RequestHeaders headers = ParseRequestHeaders(
       std::string_view(request).substr(line_end + 2,
                                        header_end - line_end - 2));
+  parsed.request_id = std::move(headers.request_id);
   if (headers.has_transfer_encoding) {
     Respond(client_fd,
             TextResponse(400, "Transfer-Encoding is not supported\n"),

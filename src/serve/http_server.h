@@ -60,6 +60,11 @@ struct HttpRequest {
   std::string path;    // decoded-enough: the raw path, query string split off
   std::string query;   // text after '?', if any (not parsed further)
   std::string body;    // POST payload (exactly Content-Length bytes)
+  /// Client-supplied `X-Request-Id` header value (trimmed), empty when the
+  /// client sent none. The query endpoints echo it into the response JSON,
+  /// log lines and the per-request trace scope (chronolog_qstats); handlers
+  /// that ignore it lose nothing.
+  std::string request_id;
 };
 
 struct HttpResponse {

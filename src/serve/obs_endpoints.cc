@@ -1,5 +1,9 @@
 #include "serve/obs_endpoints.h"
 
+#include <cstddef>
+#include <string>
+#include <string_view>
+
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -30,11 +34,26 @@ void RegisterObservabilityEndpoints(HttpServer& server,
                     std::to_string(server.requests_served()) + "}\n";
     return response;
   });
-  server.Handle("/trace", [trace](const HttpRequest&) {
+  // `?request=ID` (chronolog_qstats) slices the buffer down to the spans
+  // recorded under that request id's trace scope — one query's timeline
+  // instead of everything the buffer holds.
+  server.Handle("/trace", [trace](const HttpRequest& request) {
+    std::string_view filter;
+    const std::string& query = request.query;
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      std::size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      if (query.compare(pos, 8, "request=") == 0) {
+        filter = std::string_view(query).substr(pos + 8, amp - pos - 8);
+        break;
+      }
+      pos = amp + 1;
+    }
     HttpResponse response;
     response.content_type = "application/json";
     response.body = trace != nullptr
-                        ? trace->ToChromeTraceJson()
+                        ? trace->ToChromeTraceJson(filter)
                         : "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
     return response;
   });

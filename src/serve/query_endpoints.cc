@@ -1,17 +1,23 @@
 #include "serve/query_endpoints.h"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <random>
 #include <string>
 #include <utility>
 
 #include "analysis/dataflow.h"
+#include "ast/printer.h"
 #include "query/answers.h"
 #include "query/query_eval.h"
 #include "query/query_parser.h"
+#include "query/query_shape.h"
 #include "util/json.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace chronolog {
 
@@ -57,6 +63,34 @@ std::string QueryParam(const std::string& query, std::string_view key,
     pos = amp + 1;
   }
   return fallback;
+}
+
+/// The effective request id (chronolog_qstats): the client's `X-Request-Id`
+/// (capped — ids land verbatim in log lines and trace scopes, so an
+/// adversarially long header must not balloon them), or a generated
+/// `q-<instance>-<seq>` id unique within this process.
+std::string EffectiveRequestId(const std::string& client_id) {
+  constexpr std::size_t kMaxIdLength = 128;
+  if (!client_id.empty()) {
+    return client_id.size() <= kMaxIdLength
+               ? client_id
+               : client_id.substr(0, kMaxIdLength);
+  }
+  // Random instance prefix so ids from restarted servers don't collide in
+  // aggregated logs; the sequence makes them unique within the process.
+  static const uint32_t instance = std::random_device{}();
+  static std::atomic<uint64_t> sequence{0};
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "q-%08x-%llu", instance,
+                static_cast<unsigned long long>(
+                    sequence.fetch_add(1, std::memory_order_relaxed) + 1));
+  return buf;
+}
+
+/// ",\"request_id\":\"...\"" — spliced into response documents and 4xx/5xx
+/// error objects so a client can correlate failures too.
+std::string RequestIdJson(const std::string& request_id) {
+  return ",\"request_id\":\"" + JsonEscape(request_id) + "\"";
 }
 
 /// HTTP status for a failed evaluation: client-side errors (a query the
@@ -109,9 +143,12 @@ void RegisterQueryEndpoints(HttpServer& server,
       }
     } release{in_flight.get(), options.max_in_flight > 0};
 
+    const std::string request_id = EffectiveRequestId(request.request_id);
+    const std::string id_json = RequestIdJson(request_id);
+
     Result<JsonValue> body = ParseJson(request.body);
     if (!body.ok()) {
-      return JsonError(400, body.status().message());
+      return JsonError(400, body.status().message(), id_json);
     }
     if (!body->is_object()) {
       return JsonError(400, "request body must be a JSON object");
@@ -160,14 +197,20 @@ void RegisterQueryEndpoints(HttpServer& server,
     }
 
     const Vocabulary& vocab = entry->tdd.vocab();
+    const auto parse_start = std::chrono::steady_clock::now();
     Result<Query> parsed = ParseQuery(query_field->string_value, vocab);
+    const auto parse_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - parse_start)
+            .count();
     if (!parsed.ok()) {
-      return JsonError(400, parsed.status().ToString());
+      return JsonError(400, parsed.status().ToString(), id_json);
     }
 
     QueryEvalOptions eval_options;
     eval_options.metrics = entry->tdd.metrics();
     eval_options.trace = entry->tdd.trace();
+    eval_options.request_id = request_id;
     if (timeout.count() > 0) {
       // Clamp before adding: a huge client deadline_ms (e.g. 2^62, legal
       // when no max_timeout cap is configured) overflows `now + timeout`
@@ -184,16 +227,82 @@ void RegisterQueryEndpoints(HttpServer& server,
     }
     eval_options.max_rows = max_rows;
 
+    // Snapshot the trace drop counter around the evaluation: an admitted
+    // query whose spans fell off the wrapped buffer deserves a warning (the
+    // operator asked for `/trace?request=ID` observability and silently got
+    // less; `--trace-capacity` is the remedy).
+    TraceBuffer* trace = entry->tdd.trace();
+    const uint64_t dropped_before = trace != nullptr ? trace->dropped() : 0;
+
     const auto start = std::chrono::steady_clock::now();
     Result<QueryAnswer> answer =
         EvaluateQueryOverSpec(parsed.value(), *entry->spec, eval_options);
     if (!answer.ok()) {
       return JsonError(StatusToHttp(answer.status()),
-                       answer.status().ToString());
+                       answer.status().ToString(), id_json);
     }
     const double eval_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+
+    if (trace != nullptr) {
+      const uint64_t dropped_after = trace->dropped();
+      if (dropped_after > dropped_before) {
+        // A saturated buffer drops spans on every query from then on, so
+        // warning per request would put a stderr write on the hot path.
+        // Warn on the first drop, then only when the total has doubled
+        // since the last warn; the running total keeps the line useful.
+        uint64_t warned =
+            entry->trace_drop_warned.load(std::memory_order_relaxed);
+        while (warned == 0 || dropped_after >= 2 * warned) {
+          if (entry->trace_drop_warned.compare_exchange_weak(
+                  warned, dropped_after, std::memory_order_relaxed)) {
+            LogWarn("trace.dropped")
+                .Str("request_id", request_id)
+                .Str("database", database)
+                .Uint("dropped", dropped_after - dropped_before)
+                .Uint("dropped_total", dropped_after)
+                .Uint("capacity", trace->capacity());
+            break;
+          }
+        }
+      }
+    }
+
+    const bool slow = options.slow_query_ms >= 0 &&
+                      eval_ms >= static_cast<double>(options.slow_query_ms);
+    if (options.track_statements || slow) {
+      const std::string shape =
+          NormalizeQueryShape(query_field->string_value);
+      if (options.track_statements) {
+        entry->statements->GetOrCreate(shape)->Record(
+            answer->rows.size(), answer->partial, answer->truncated,
+            answer->oracle_lookups, answer->rewrite_steps,
+            static_cast<uint64_t>(parse_ns),
+            static_cast<uint64_t>(eval_ms * 1e6));
+      }
+      if (slow) {
+        if (options.metrics != nullptr) {
+          options.metrics->counter("query.slow")->Add();
+        }
+        // One line per slow query: shape (not the raw text — constants can
+        // be sensitive, and the shape is the aggregation key anyway),
+        // request id, the limits it ran under, and the phase breakdown.
+        LogWarn("query.slow")
+            .Str("request_id", request_id)
+            .Str("database", database)
+            .Str("shape", shape)
+            .Num("parse_ms", static_cast<double>(parse_ns) / 1e6)
+            .Num("eval_ms", eval_ms)
+            .Uint("oracle_lookups", answer->oracle_lookups)
+            .Uint("rewrite_steps", answer->rewrite_steps)
+            .Uint("rows", answer->rows.size())
+            .Bool("partial", answer->partial)
+            .Bool("truncated", answer->truncated)
+            .Int("deadline_ms", timeout.count())
+            .Uint("max_rows", max_rows);
+      }
+    }
 
     HttpResponse response;
     response.content_type = "application/json";
@@ -202,8 +311,8 @@ void RegisterQueryEndpoints(HttpServer& server,
     std::string answer_json = QueryAnswerToJson(*answer, vocab);
     // FormatDouble, not std::to_string: the latter honors LC_NUMERIC, and a
     // comma decimal separator (e.g. under de_DE) breaks the JSON document.
-    response.body = "{\"database\":\"" + JsonEscape(database) +
-                    "\",\"eval_ms\":" + FormatDouble(eval_ms) + "," +
+    response.body = "{\"database\":\"" + JsonEscape(database) + "\"" +
+                    id_json + ",\"eval_ms\":" + FormatDouble(eval_ms) + "," +
                     answer_json.substr(1) + "\n";
     return response;
   });
@@ -253,6 +362,133 @@ void RegisterQueryEndpoints(HttpServer& server,
     response.body += "\",";
     response.body += analysis.ToJson(entry->tdd.program()).substr(1);
     response.body += "\n";
+    return response;
+  });
+
+  server.Handle("/statements", [registry](const HttpRequest& request) {
+    const std::string database = QueryParam(request.query, "db", "default");
+    const DatabaseRegistry::Entry* entry = registry->Find(database);
+    if (entry == nullptr) {
+      return JsonError(404, "unknown database '" + database + "'",
+                       KnownDatabasesJson(registry));
+    }
+    StatementStats* stats = entry->statements.get();
+    HttpResponse response;
+    response.content_type = "application/json";
+    // Render first, then reset: `?reset=1` returns the statistics it wiped,
+    // so a scrape-and-reset loop never loses a window.
+    response.body = "{\"database\":\"" + JsonEscape(database) + "\"," +
+                    stats->ToJson().substr(1) + "\n";
+    if (QueryParam(request.query, "reset", "0") == "1") stats->Reset();
+    return response;
+  });
+
+  server.HandlePost("/explain", [registry](const HttpRequest& request) {
+    const std::string request_id = EffectiveRequestId(request.request_id);
+    const std::string id_json = RequestIdJson(request_id);
+    Result<JsonValue> body = ParseJson(request.body);
+    if (!body.ok()) {
+      return JsonError(400, body.status().message(), id_json);
+    }
+    if (!body->is_object()) {
+      return JsonError(400, "request body must be a JSON object", id_json);
+    }
+    const JsonValue* query_field = body->Find("query");
+    if (query_field == nullptr || !query_field->is_string()) {
+      return JsonError(400, "missing string field \"query\"", id_json);
+    }
+    std::string database = "default";
+    if (const JsonValue* db = body->Find("database"); db != nullptr) {
+      if (!db->is_string()) {
+        return JsonError(400, "\"database\" must be a string", id_json);
+      }
+      database = db->string_value;
+    }
+    const DatabaseRegistry::Entry* entry = registry->Find(database);
+    if (entry == nullptr) {
+      return JsonError(404, "unknown database '" + database + "'",
+                       KnownDatabasesJson(registry) + id_json);
+    }
+    const Vocabulary& vocab = entry->tdd.vocab();
+    // Parse to validate (same 400 contract as /query) — but never evaluate:
+    // EXPLAIN answers from compiled artefacts only.
+    Result<Query> parsed = ParseQuery(query_field->string_value, vocab);
+    if (!parsed.ok()) {
+      return JsonError(400, parsed.status().ToString(), id_json);
+    }
+
+    const RelationalSpecification* spec = entry->spec;
+    const FlowAnalysis analysis =
+        AnalyzeProgram(entry->tdd.program(), entry->tdd.database());
+
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::string out = "{\"database\":\"" + JsonEscape(database) + "\"";
+    out += id_json;
+    out += ",\"query\":\"" + JsonEscape(query_field->string_value) + "\"";
+    out += ",\"shape\":\"" +
+           JsonEscape(NormalizeQueryShape(query_field->string_value)) + "\"";
+    out += ",\"executed\":false";
+    // The rewrite rule W that answers any temporal term in this query:
+    // lhs -> lhs - p applied to exhaustion (Prop. 3.1).
+    out += ",\"rewrite\":{\"lhs\":" + std::to_string(spec->rewrite_lhs()) +
+           ",\"rhs\":" + std::to_string(spec->rewrite_lhs() -
+                                        spec->period().p) +
+           ",\"p\":" + std::to_string(spec->period().p) + "}";
+    out += ",\"period\":{\"b\":" + std::to_string(spec->period().b) +
+           ",\"p\":" + std::to_string(spec->period().p) +
+           ",\"c\":" + std::to_string(spec->c()) + ",\"representatives\":" +
+           std::to_string(spec->num_representatives()) + "}";
+    out += ",\"analysis\":{\"bounded\":";
+    out += analysis.hints.bounded ? "true" : "false";
+    out += ",\"static_horizon\":" +
+           std::to_string(analysis.hints.static_horizon) +
+           ",\"period_divisor\":" +
+           std::to_string(analysis.hints.period_divisor) +
+           ",\"program_degree\":" +
+           std::to_string(analysis.degrees.program_degree) + "}";
+    // Join plans the spec build actually executed (exported from the
+    // RuleEvaluator plan caches of its last fixpoint) — what a repeated
+    // build of this database would run again.
+    const RulePlanReport& plans = entry->tdd.spec_info().plans;
+    out += ",\"plans\":[";
+    const auto& rules = entry->tdd.program().rules();
+    bool first_rule = true;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (!first_rule) out += ",";
+      first_rule = false;
+      out += "{\"rule\":\"" + JsonEscape(RuleToString(rules[i], vocab)) +
+             "\",\"slots\":[";
+      bool first_slot = true;
+      if (i < plans.size()) {
+        for (const PlanSlotReport& slot : plans[i]) {
+          if (!first_slot) out += ",";
+          first_slot = false;
+          out += "{\"delta_pos\":" + std::to_string(slot.delta_pos) +
+                 ",\"time_bound\":";
+          out += slot.time_bound ? "true" : "false";
+          out += ",\"order\":[";
+          for (std::size_t k = 0; k < slot.order.size(); ++k) {
+            if (k > 0) out += ",";
+            out += std::to_string(slot.order[k]);
+          }
+          out += "],\"probe_cols\":[";
+          for (std::size_t k = 0; k < slot.probe_cols.size(); ++k) {
+            if (k > 0) out += ",";
+            out += std::to_string(slot.probe_cols[k]);
+          }
+          out += "],\"est_steps_per_emit\":" +
+                 FormatDouble(slot.est_steps_per_emit) +
+                 ",\"observed_steps\":" +
+                 std::to_string(slot.observed_steps) +
+                 ",\"observed_emits\":" +
+                 std::to_string(slot.observed_emits) + "}";
+        }
+      }
+      out += "]}";
+    }
+    out += "]}\n";
+    response.body = std::move(out);
     return response;
   });
 }

@@ -28,10 +28,20 @@ struct QueryServiceOptions {
   uint64_t default_max_rows = 1024;
   /// Upper bound on client-requested `max_rows`.
   uint64_t max_rows_cap = 65536;
-  /// Serve-level instruments (`query.rejected`); nullable. Typically the
-  /// same registry the HttpServer and the default database export, so one
-  /// `/metrics` scrape sees everything.
+  /// Serve-level instruments (`query.rejected`, `query.slow`); nullable.
+  /// Typically the same registry the HttpServer and the default database
+  /// export, so one `/metrics` scrape sees everything.
   MetricsRegistry* metrics = nullptr;
+  /// Slow-query threshold (chronolog_qstats): a successful `POST /query`
+  /// whose evaluation wall time reaches this many milliseconds emits one
+  /// structured `query.slow` warn line (shape, request id, limits, phase
+  /// breakdown) and bumps the `query.slow` counter. 0 logs every query
+  /// (the ci.sh end-to-end gate runs this way); negative (the default)
+  /// disables the log.
+  int64_t slow_query_ms = -1;
+  /// Per-database statement statistics (GET /statements). On by default;
+  /// the bench harness turns it off to measure the store's overhead.
+  bool track_statements = true;
 };
 
 /// Registers the query protocol on `server`:
@@ -45,6 +55,22 @@ struct QueryServiceOptions {
 ///                    (`?db=NAME`, default "default"): offset bounds,
 ///                    degrees, binding patterns, A-series diagnostics.
 ///                    404 unknown database.
+///   GET /statements  per-shape statement statistics of one database
+///                    (`?db=NAME`, default "default"; `&reset=1` starts a
+///                    fresh generation after rendering). 404 unknown
+///                    database.
+///   POST /explain    {"query": "...", "database": "..."} → the plan that
+///                    would answer the query, WITHOUT executing it: the
+///                    normalized shape, the rewrite `W` rule and period,
+///                    the static-analysis bounds, and per-rule join plans
+///                    (order, estimated vs observed steps-per-emit) from
+///                    the spec build's plan cache. Same 400/404 mapping as
+///                    /query.
+///
+/// Request ids (chronolog_qstats): a client-supplied `X-Request-Id` (or a
+/// generated `q-...` id) is echoed as `request_id` in /query and /explain
+/// responses, attached to their log lines, and tags the evaluation's trace
+/// spans for `GET /trace?request=ID`.
 ///
 /// `registry` must outlive the server; entries registered after Start() are
 /// served as soon as Add returns (Find is the only lookup on the hot path).

@@ -1,6 +1,8 @@
 #ifndef CHRONOLOG_SERVE_REGISTRY_H_
 #define CHRONOLOG_SERVE_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "serve/statements.h"
 #include "util/status.h"
 
 namespace chronolog {
@@ -32,6 +35,21 @@ class DatabaseRegistry {
     /// The compiled specification, owned by `tdd` (cached there); never
     /// null for a registered entry.
     const RelationalSpecification* spec = nullptr;
+    /// Per-database statement statistics (chronolog_qstats), fed by the
+    /// `POST /query` handler and served as `GET /statements?db=NAME`.
+    /// Heap-allocated and never replaced, so `statements.get()` is a stable,
+    /// internally synchronised handle even through the registry's const
+    /// Find (unique_ptr does not propagate const — deliberate: `?reset=1`
+    /// mutates through it).
+    std::unique_ptr<StatementStats> statements =
+        std::make_unique<StatementStats>();
+    /// Throttle state for the `trace.dropped` warning: the buffer's total
+    /// drop count as of the last warn. A saturated trace buffer drops spans
+    /// on every subsequent query; warning each time would put a stderr
+    /// write on the serving hot path, so the handler only warns when the
+    /// total has doubled since this mark. Mutable because handlers reach it
+    /// through the registry's const Find.
+    mutable std::atomic<uint64_t> trace_drop_warned{0};
 
     Entry(std::string n, TemporalDatabase db)
         : name(std::move(n)), tdd(std::move(db)) {}

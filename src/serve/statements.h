@@ -1,0 +1,105 @@
+#ifndef CHRONOLOG_SERVE_STATEMENTS_H_
+#define CHRONOLOG_SERVE_STATEMENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace chronolog {
+
+/// Statement-statistics store (chronolog_qstats) — the pg_stat_statements
+/// of chronolog_serve. One store per registered database; queries are keyed
+/// by their normalized *shape* (NormalizeQueryShape: constants stripped, so
+/// `tok(3, a0)` and `tok(17, a5)` accumulate under one `tok(N, ?)` entry)
+/// and served as `GET /statements?db=NAME`.
+///
+/// Concurrency: the store is sharded by shape hash. A worker resolves its
+/// shape to a stable `Entry*` under one short shard lock (amortised away by
+/// the serving layer only when it caches, which it currently does not — the
+/// lock covers a single hash-map probe), then records entirely lock-free:
+/// every Entry field is a relaxed atomic or a Histogram (itself lock-free).
+/// Entries are never destroyed while the store lives — Reset() retires them
+/// instead of freeing, so a pointer obtained before a concurrent Reset stays
+/// valid (those straggler records land in the retired generation and are
+/// simply no longer reported).
+class StatementStats {
+ public:
+  /// Per-shape accumulators. All monotone; snapshot consistency across
+  /// fields is best-effort (relaxed loads), which is the usual contract for
+  /// statistics views.
+  struct Entry {
+    std::string shape;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> partial{0};    // evaluations cut by the deadline
+    std::atomic<uint64_t> truncated{0};  // evaluations cut by max_rows
+    std::atomic<uint64_t> oracle_lookups{0};
+    std::atomic<uint64_t> rewrite_steps{0};
+    std::atomic<uint64_t> parse_ns{0};  // total parse wall time
+    Histogram eval_ns;                  // per-call evaluation wall time
+
+    explicit Entry(std::string s) : shape(std::move(s)) {}
+
+    /// Folds one completed query into the accumulators. Lock-free.
+    void Record(uint64_t row_count, bool was_partial, bool was_truncated,
+                uint64_t lookups, uint64_t rewrites, uint64_t parse_nanos,
+                uint64_t eval_nanos) {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      rows.fetch_add(row_count, std::memory_order_relaxed);
+      if (was_partial) partial.fetch_add(1, std::memory_order_relaxed);
+      if (was_truncated) truncated.fetch_add(1, std::memory_order_relaxed);
+      oracle_lookups.fetch_add(lookups, std::memory_order_relaxed);
+      rewrite_steps.fetch_add(rewrites, std::memory_order_relaxed);
+      parse_ns.fetch_add(parse_nanos, std::memory_order_relaxed);
+      eval_ns.RecordValue(eval_nanos);
+    }
+  };
+
+  StatementStats() = default;
+  StatementStats(const StatementStats&) = delete;
+  StatementStats& operator=(const StatementStats&) = delete;
+
+  /// Resolves `shape` to its entry, creating it on first sight. The pointer
+  /// is stable for the store's lifetime (Reset retires, never frees).
+  Entry* GetOrCreate(std::string_view shape);
+
+  /// Starts a fresh generation: current entries stop being reported (and
+  /// stop being returned by GetOrCreate) but stay allocated for stragglers
+  /// mid-Record. A call racing the reset lands in whichever generation its
+  /// GetOrCreate resolved — never lost, never double-counted.
+  void Reset();
+
+  /// Total calls across live entries (test/gate convenience).
+  uint64_t TotalCalls() const;
+
+  /// {"statements":[{shape, calls, rows, partial, truncated,
+  ///   oracle_lookups, rewrite_steps, parse_ns, eval_ns:{count, sum, min,
+  ///   max, mean, p50, p90, p99}}, ...]}
+  /// sorted by total evaluation time (eval_ns.sum) descending, ties by
+  /// shape, so the most expensive statement family is always first.
+  std::string ToJson() const;
+
+ private:
+  static constexpr std::size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string_view, std::unique_ptr<Entry>> live;
+    std::vector<std::unique_ptr<Entry>> retired;
+  };
+
+  Shard& ShardFor(std::string_view shape);
+
+  Shard shards_[kNumShards];
+};
+
+}  // namespace chronolog
+
+#endif  // CHRONOLOG_SERVE_STATEMENTS_H_

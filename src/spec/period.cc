@@ -161,6 +161,7 @@ Result<PeriodDetection> DetectByDoubling(const Program& program,
     fp.metrics = options.metrics;
     fp.trace = options.trace;
     fp.plan_priors = options.plan_priors;
+    fp.plan_report = options.plan_report;
     EvalStats round_stats;
     int64_t changed_from = 0;
     {
@@ -248,6 +249,7 @@ Result<PeriodDetection> DetectPeriod(const Program& program,
     fwd.max_facts = options.max_facts;
     fwd.metrics = options.metrics;
     fwd.trace = options.trace;
+    fwd.plan_report = options.plan_report;
     CHRONOLOG_ASSIGN_OR_RETURN(ForwardResult forward,
                                ForwardSimulate(program, db, fwd));
     PeriodDetection result{forward.period,

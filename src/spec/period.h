@@ -36,6 +36,10 @@ struct PeriodDetectionOptions {
   /// Advisory only: plans never affect results. The progressive (exact
   /// forward) path does not consume priors. Must outlive detection.
   const JoinOrderPriors* plan_priors = nullptr;
+  /// When non-null, detection snapshots the executed join plans (of the
+  /// last fixpoint / the forward simulation) into `*plan_report` for
+  /// EXPLAIN; forwarded to FixpointOptions / ForwardOptions.
+  RulePlanReport* plan_report = nullptr;
 };
 
 /// Outcome of period detection: the minimal period of `M_{Z∧D}` and the

@@ -20,8 +20,12 @@ std::string RelationalSpecification::ToString() const {
 Result<RelationalSpecification> BuildSpecification(
     const Program& program, const Database& db,
     const PeriodDetectionOptions& options, SpecificationBuildInfo* info) {
+  PeriodDetectionOptions detect_options = options;
+  if (info != nullptr && detect_options.plan_report == nullptr) {
+    detect_options.plan_report = &info->plans;
+  }
   CHRONOLOG_ASSIGN_OR_RETURN(PeriodDetection detection,
-                             DetectPeriod(program, db, options));
+                             DetectPeriod(program, db, detect_options));
   if (info != nullptr) {
     info->exact_period = detection.exact;
     info->stats = detection.stats;

@@ -92,6 +92,10 @@ struct SpecificationBuildInfo {
   bool exact_period = true;
   EvalStats stats;
   int64_t detection_horizon = 0;
+  /// Join plans executed by the detection run that produced the spec
+  /// (indexed like Program::rules(); empty when the caller routed
+  /// PeriodDetectionOptions::plan_report elsewhere). Consumed by EXPLAIN.
+  RulePlanReport plans;
 };
 
 Result<RelationalSpecification> BuildSpecification(

@@ -117,6 +117,35 @@ double Histogram::mean() const {
   return n == 0 ? 0 : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q = 0 maps to the first sample.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * n)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The target sample is one of `in_bucket` values in [lower, upper);
+    // interpolate linearly by its rank within the bucket, then clamp to the
+    // exact observed extremes so p0/p100 are honest.
+    const double lower = i == 0 ? 0 : std::ldexp(1.0, i - 1);
+    const double upper = i == 0 ? 0 : std::ldexp(1.0, i);
+    const double frac = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+    const double est = lower + (upper - lower) * frac;
+    return std::clamp(est, static_cast<double>(min()),
+                      static_cast<double>(max()));
+  }
+  return static_cast<double>(max());
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -238,6 +267,14 @@ std::string MetricsRegistry::ToPrometheusText() const {
            "\n";
     out += prom + "_sum " + std::to_string(hist->sum()) + "\n";
     out += prom + "_count " + std::to_string(hist->count()) + "\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"_p50", hist->Quantile(0.50)},
+        {"_p90", hist->Quantile(0.90)},
+        {"_p99", hist->Quantile(0.99)}};
+    for (const auto& [suffix, value] : quantiles) {
+      AppendFamilyHeader(out, prom + suffix, name, "gauge");
+      out += prom + suffix + " " + JsonNumber(value) + "\n";
+    }
   }
   return out;
 }

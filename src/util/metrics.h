@@ -84,6 +84,14 @@ class Histogram {
   uint64_t max() const;
   double mean() const;  // 0 when empty
 
+  /// Estimated q-quantile (q in [0, 1]) from the log2 buckets: finds the
+  /// bucket holding the ceil(q * count)-th sample and interpolates linearly
+  /// inside its [2^(i-1), 2^i) range, clamped to the observed min/max. The
+  /// ~2x bucket resolution bounds the relative error at 2x — good enough
+  /// for dashboards (p50/p90/p99 in the Prometheus export), not for SLA
+  /// arithmetic. 0 when empty.
+  double Quantile(double q) const;
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -130,7 +138,10 @@ class MetricsRegistry {
   ///                  `_mean` gauge variants;
   ///  * Histogram  -> `histogram` family: cumulative `_bucket{le="2^i"}`
   ///                  samples (one per log2 bucket up to the highest
-  ///                  non-empty one, then `le="+Inf"`), `_sum` and `_count`.
+  ///                  non-empty one, then `le="+Inf"`), `_sum` and `_count`,
+  ///                  plus derived `_p50`/`_p90`/`_p99` gauge variants
+  ///                  (Quantile()) so dashboards don't reimplement the
+  ///                  bucket-interpolation math.
   ///
   /// Deterministic (name-sorted), one trailing newline per line, so the
   /// output diffs cleanly between scrapes.

@@ -3,8 +3,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace chronolog {
@@ -20,6 +22,12 @@ namespace chronolog {
 /// `MetricsRegistry*`; a null buffer makes TraceSpan construction a single
 /// pointer test. Span names must be string literals (the buffer stores the
 /// pointer, not a copy).
+///
+/// Request slicing (chronolog_qstats): a `TraceScope` tags every span its
+/// thread records while the scope is alive with a per-request id, and the
+/// buffer remembers which request string that id belongs to. The exporter
+/// can then slice one query's spans out of a buffer shared by thousands of
+/// requests (`GET /trace?request=ID`).
 
 /// One completed span. Times are microseconds relative to the buffer's
 /// construction (its epoch), so traces from one run share a timeline.
@@ -28,7 +36,8 @@ struct TraceEvent {
   int depth;          // nesting depth on the recording thread (0 = root)
   uint64_t start_us;  // offset from the buffer epoch
   uint64_t dur_us;
-  uint64_t tid;  // hashed thread id — distinguishes pool workers
+  uint64_t tid;    // hashed thread id — distinguishes pool workers
+  uint64_t scope;  // TraceScope id the span ran under; 0 = unscoped
 };
 
 /// Bounded, mutex-guarded event log. Spans beyond `capacity` are counted in
@@ -47,8 +56,16 @@ class TraceBuffer {
               std::chrono::steady_clock::time_point end);
 
   std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
   uint64_t dropped() const;
   void Clear();
+
+  /// Registers a request id and returns the scope id (>= 1) spans recorded
+  /// under it will carry. The id → request-id association is kept in a
+  /// bounded FIFO (`kMaxScopeNames`); once evicted, a scope's spans survive
+  /// but can no longer be sliced by request string. Prefer the TraceScope
+  /// RAII wrapper over calling this directly.
+  uint64_t OpenScope(std::string_view request_id);
 
   /// Snapshot of the recorded events, in completion order.
   std::vector<TraceEvent> events() const;
@@ -63,17 +80,27 @@ class TraceBuffer {
   /// event with `pid`/`tid`/`ts`/`dur` in microseconds, so the output opens
   /// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Hashed
   /// thread ids are remapped to small dense ints in first-seen order; the
-  /// span's nesting depth rides along in `args.depth`. A `process_name`
-  /// metadata event labels the single process, and `dropped` spans are
-  /// reported in the top-level `otherData` object.
-  std::string ToChromeTraceJson() const;
+  /// span's nesting depth rides along in `args.depth`, and spans recorded
+  /// under a TraceScope carry the request id in `args.request`. A
+  /// `process_name` metadata event labels the single process, and `dropped`
+  /// spans are reported in the top-level `otherData` object.
+  ///
+  /// A non-empty `request_filter` keeps only the spans recorded under a
+  /// scope opened for that request id (`GET /trace?request=ID`); the
+  /// matched scope count is reported in `otherData.scopes`.
+  std::string ToChromeTraceJson(std::string_view request_filter = {}) const;
 
  private:
+  /// Bound on remembered scope-id → request-id associations.
+  static constexpr std::size_t kMaxScopeNames = 1024;
+
   const std::chrono::steady_clock::time_point epoch_;
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   uint64_t dropped_ = 0;
+  uint64_t next_scope_ = 0;
+  std::deque<std::pair<uint64_t, std::string>> scope_names_;  // FIFO
 };
 
 /// RAII span: records [construction, destruction) into `buffer` under
@@ -91,6 +118,29 @@ class TraceSpan {
   const char* name_;
   int depth_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII request scope: spans recorded by this thread while the scope is
+/// alive are tagged with a fresh scope id registered for `request_id`, so
+/// the exporter can slice them out later. Scopes nest (the previous scope is
+/// restored on destruction); a null buffer or empty request id disables the
+/// scope entirely. Thread-bound like TraceSpan's depth counter: spans from
+/// pool workers spawned inside the scope are not tagged.
+class TraceScope {
+ public:
+  TraceScope(TraceBuffer* buffer, std::string_view request_id);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The registered scope id; 0 when the scope is disabled.
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_ = 0;
+  uint64_t prev_ = 0;
+  bool active_ = false;
 };
 
 }  // namespace chronolog

@@ -153,5 +153,38 @@ TEST(EngineTest, BinaryCounterEngine) {
   EXPECT_TRUE(*tdd.Ask("bit1(13, b2)"));
 }
 
+TEST(EngineTest, SpecInfoCarriesJoinPlansAfterBuild) {
+  TemporalDatabase tdd = MustEngine(workload::EvenSource());
+  ASSERT_TRUE(tdd.specification().ok());
+  // The spec build exported its per-rule plan report (fed to EXPLAIN):
+  // one report per rule, and the recursive even rule planned at least one
+  // slot whose join order covers its single body atom.
+  const RulePlanReport& plans = tdd.spec_info().plans;
+  ASSERT_EQ(plans.size(), tdd.program().rules().size());
+  bool any_slot = false;
+  for (const auto& rule_slots : plans) {
+    for (const PlanSlotReport& slot : rule_slots) {
+      any_slot = true;
+      EXPECT_EQ(slot.order.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(any_slot);
+}
+
+TEST(EngineTest, TraceCapacityOptionBoundsTheBuffer) {
+  EngineOptions options;
+  options.collect_metrics = true;
+  options.trace_capacity = 8;
+  auto tdd = TemporalDatabase::FromSource(workload::EvenSource(), options);
+  ASSERT_TRUE(tdd.ok()) << tdd.status();
+  ASSERT_NE(tdd->trace(), nullptr);
+  EXPECT_EQ(tdd->trace()->capacity(), 8u);
+  // The spec build alone records more than 8 spans, so the bounded buffer
+  // must have wrapped — capacity admission, not silent growth.
+  ASSERT_TRUE(tdd->specification().ok());
+  EXPECT_LE(tdd->trace()->size(), 8u);
+  EXPECT_GT(tdd->trace()->dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace chronolog

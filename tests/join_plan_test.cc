@@ -168,6 +168,70 @@ TEST(JoinPlanTest, PlannerAvoidsWideScanOnSkewedWorkload) {
   EXPECT_LT(stats.match_steps, 256u * 50u / 2u);
 }
 
+TEST(JoinPlanTest, ExportPlansReportsBuiltSlots) {
+  ParsedUnit unit = MustParse(workload::SkewedJoinSource(64));
+  Interpretation full(unit.program.vocab_ptr());
+  Interpretation delta(unit.program.vocab_ptr());
+  LoadSkewed(unit, &full, &delta);
+  RuleEvaluator ev(unit.program.rules()[0], unit.program.vocab());
+
+  std::vector<PlanSlotReport> report;
+  ev.ExportPlans(&report);
+  EXPECT_TRUE(report.empty());  // nothing planned yet
+
+  ev.EnsurePlan(full, &delta, /*delta_pos=*/0, /*time_bound=*/false);
+  ev.EnsurePlan(full, nullptr, /*delta_pos=*/-1, /*time_bound=*/true);
+  ev.ExportPlans(&report);
+  ASSERT_EQ(report.size(), 2u);
+  // The report round-trips each slot's configuration and its chosen order.
+  bool saw_delta = false, saw_full = false;
+  for (const PlanSlotReport& slot : report) {
+    ASSERT_EQ(slot.order.size(), 3u);
+    ASSERT_EQ(slot.probe_cols.size(), 3u);
+    EXPECT_GT(slot.est_steps_per_emit, 0.0);
+    if (slot.delta_pos == 0 && !slot.time_bound) {
+      saw_delta = true;
+      // Matches the directly inspected plan order for the same slot.
+      EXPECT_EQ(slot.order, ev.PlanOrderForTest(0, false));
+    }
+    if (slot.delta_pos == -1 && slot.time_bound) saw_full = true;
+  }
+  EXPECT_TRUE(saw_delta);
+  EXPECT_TRUE(saw_full);
+
+  // Observed counters flow into a later export after real evaluation work.
+  EvalStats stats;
+  ev.Evaluate(full, &delta, 0, std::nullopt, &stats, [](GroundAtom&&) {});
+  std::vector<PlanSlotReport> after;
+  ev.ExportPlans(&after);
+  uint64_t observed = 0;
+  for (const PlanSlotReport& slot : after) observed += slot.observed_steps;
+  EXPECT_GT(observed, 0u);
+}
+
+TEST(JoinPlanTest, FixpointExportsPlanReportPerRule) {
+  ParsedUnit unit = MustParse(workload::SkewedJoinSource(32));
+  FixpointOptions options;
+  options.max_time = 10;
+  RulePlanReport report;
+  options.plan_report = &report;
+  EvalStats stats;
+  auto model =
+      SemiNaiveFixpoint(unit.program, unit.database, options, &stats);
+  ASSERT_TRUE(model.ok()) << model.status();
+  ASSERT_EQ(report.size(), unit.program.rules().size());
+  // The recursive rule drove joins, so its report carries at least one
+  // slot whose work was observed.
+  bool any_slot = false;
+  for (const auto& rule_slots : report) {
+    for (const PlanSlotReport& slot : rule_slots) {
+      any_slot = true;
+      EXPECT_FALSE(slot.order.empty());
+    }
+  }
+  EXPECT_TRUE(any_slot);
+}
+
 TEST(JoinPlanTest, JoinMetricsPopulatedThroughFixpoint) {
   ParsedUnit unit = MustParse(workload::SkewedJoinSource(32));
   MetricsRegistry metrics;

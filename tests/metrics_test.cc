@@ -297,6 +297,96 @@ TEST(MetricsTest, PrometheusTextEmptyRegistry) {
   EXPECT_EQ(registry.ToPrometheusText(), "");
 }
 
+TEST(MetricsTest, HistogramQuantilesClampToObservedRange) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("q");
+  EXPECT_EQ(h->Quantile(0.5), 0.0);  // empty histogram
+  h->RecordValue(100);
+  // One sample: every quantile is that sample (the in-bucket interpolation
+  // is clamped to the observed min/max).
+  EXPECT_EQ(h->Quantile(0.01), 100.0);
+  EXPECT_EQ(h->Quantile(0.5), 100.0);
+  EXPECT_EQ(h->Quantile(0.99), 100.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreMonotoneWithinBucketBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("q");
+  for (uint64_t v = 1; v <= 1000; ++v) h->RecordValue(v);
+  const double p50 = h->Quantile(0.50);
+  const double p90 = h->Quantile(0.90);
+  const double p99 = h->Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log2 buckets bound the error by the bucket the true quantile falls in:
+  // the true p50 (500) sits in [256, 512), the true p90/p99 in [512, 1024)
+  // clamped at the observed max of 1000.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GE(p90, 512.0);
+  EXPECT_LE(p90, 1000.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);
+}
+
+TEST(MetricsTest, PrometheusTextDerivesQuantileGauges) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("query.latency_ns");
+  h->RecordValue(100);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE query_latency_ns_p50 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_p50 100\n"), std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_p90 100\n"), std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_p99 100\n"), std::string::npos);
+}
+
+// Request-scope tagging (chronolog_qstats): spans recorded under an open
+// TraceScope carry its id, and the Chrome export can slice to one request.
+TEST(TraceTest, ChromeTraceJsonFiltersByRequestScope) {
+  TraceBuffer buf;
+  {
+    TraceScope scope(&buf, "req-1");
+    TraceSpan span(&buf, "first.query");
+  }
+  {
+    TraceScope scope(&buf, "req-2");
+    TraceSpan span(&buf, "second.query");
+  }
+  { TraceSpan span(&buf, "unscoped.work"); }
+
+  // Unfiltered: everything, with request annotations on scoped spans.
+  const std::string all = buf.ToChromeTraceJson();
+  EXPECT_NE(all.find("\"name\":\"first.query\""), std::string::npos);
+  EXPECT_NE(all.find("\"name\":\"second.query\""), std::string::npos);
+  EXPECT_NE(all.find("\"name\":\"unscoped.work\""), std::string::npos);
+  EXPECT_NE(all.find("\"request\":\"req-1\""), std::string::npos);
+
+  // Filtered: only the spans recorded under the matching scope.
+  const std::string filtered = buf.ToChromeTraceJson("req-1");
+  EXPECT_NE(filtered.find("\"name\":\"first.query\""), std::string::npos);
+  EXPECT_EQ(filtered.find("\"name\":\"second.query\""), std::string::npos);
+  EXPECT_EQ(filtered.find("\"name\":\"unscoped.work\""), std::string::npos);
+  EXPECT_NE(filtered.find("\"request\":\"req-1\""), std::string::npos);
+
+  // A filter nothing matches yields a valid, span-free document.
+  const std::string none = buf.ToChromeTraceJson("req-404");
+  EXPECT_NE(none.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(none.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceTest, TraceScopeIsInactiveWithoutBufferOrId) {
+  TraceBuffer buf;
+  {
+    TraceScope no_buffer(nullptr, "req-1");
+    TraceScope no_id(&buf, "");
+    TraceSpan span(&buf, "work");
+  }
+  // Neither inert scope tagged the span: a filter on req-1 excludes it.
+  const std::string filtered = buf.ToChromeTraceJson("req-1");
+  EXPECT_EQ(filtered.find("\"name\":\"work\""), std::string::npos);
+}
+
 // Chrome trace export: spans become "ph":"X" complete events whose ts/dur
 // keep parent spans containing their children.
 TEST(TraceTest, ChromeTraceJsonNestsContainedSpans) {

@@ -29,14 +29,22 @@
 //                     0 disables admission control)
 //   --deadline-ms=N   default per-query wall-clock budget (default 1000)
 //   --max-rows=N      default per-query row cap (default 1024)
+//   --slow-query-ms=N emit one structured `query.slow` warn line per query
+//                     whose evaluation takes >= N ms (0 logs every query;
+//                     default -1 = off)
+//   --trace-capacity=N trace-buffer events per database (default 65536);
+//                     a wrap during an admitted query logs `trace.dropped`
+//                     (throttled: first drop, then each doubling of the total)
 //   --log-level=L     debug|info|warn|error|off (default: $CHRONOLOG_LOG_LEVEL)
 //
 // Endpoints (see docs/SERVING.md and docs/OBSERVABILITY.md):
 //   POST /query      JSON query protocol with per-query deadlines/row limits
+//   POST /explain    the plan for a query without executing it
 //   GET /databases   registry contents
+//   GET /statements  per-shape statement statistics (?db=NAME&reset=1)
 //   GET /metrics     Prometheus text exposition (version 0.0.4)
 //   GET /healthz     JSON liveness probe
-//   GET /trace       Chrome trace-event JSON (open in Perfetto)
+//   GET /trace       Chrome trace-event JSON (?request=ID slices one query)
 //
 // This is the scrape target for the bench/ci.sh serve gate: start with
 // --port=0 --port-file, poll the file, scrape + POST, SIGINT, expect exit 0.
@@ -84,6 +92,8 @@ int main(int argc, char** argv) {
   int max_inflight = 8;
   int deadline_ms = 1000;
   int max_rows = 1024;
+  int slow_query_ms = -1;
+  int trace_capacity = 1 << 16;
   std::string port_file;
   std::string program_path;
   std::vector<std::string> queries;
@@ -97,7 +107,9 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--max-requests-per-conn", &max_requests_per_conn) ||
         ParseIntFlag(arg, "--max-inflight", &max_inflight) ||
         ParseIntFlag(arg, "--deadline-ms", &deadline_ms) ||
-        ParseIntFlag(arg, "--max-rows", &max_rows)) {
+        ParseIntFlag(arg, "--max-rows", &max_rows) ||
+        ParseIntFlag(arg, "--slow-query-ms", &slow_query_ms) ||
+        ParseIntFlag(arg, "--trace-capacity", &trace_capacity)) {
       continue;
     }
     if (arg.rfind("--port-file=", 0) == 0) {
@@ -141,6 +153,9 @@ int main(int argc, char** argv) {
   chronolog::EngineOptions options;
   options.collect_metrics = true;
   options.num_threads = threads;
+  if (trace_capacity > 0) {
+    options.trace_capacity = static_cast<std::size_t>(trace_capacity);
+  }
 
   chronolog::DatabaseRegistry registry;
   // Registration compiles each specification eagerly, so the fixpoint.* /
@@ -207,6 +222,7 @@ int main(int argc, char** argv) {
   query_options.default_max_rows =
       max_rows < 0 ? 0 : static_cast<uint64_t>(max_rows);
   query_options.metrics = default_db->tdd.metrics();
+  query_options.slow_query_ms = slow_query_ms;
   chronolog::RegisterQueryEndpoints(server, &registry, query_options);
 
   auto started = server.Start();
@@ -226,8 +242,8 @@ int main(int argc, char** argv) {
   }
   std::printf("chronolog-serve: listening on 127.0.0.1:%d (%zu database(s))\n",
               server.port(), registry.size());
-  std::printf("  POST /query  GET /databases /metrics /healthz /trace — "
-              "Ctrl-C to stop\n");
+  std::printf("  POST /query /explain  GET /databases /statements /metrics "
+              "/healthz /trace — Ctrl-C to stop\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
